@@ -1,0 +1,31 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one paper figure/table and asserts its *shape*
+(who wins, by roughly what factor) rather than absolute numbers — the
+substrate is our simulator, not the authors' ns-1 testbed.
+
+Traffic benches share protocol runs through ``traffic_sim``'s cache, so the
+first figure touching a variant pays its simulation cost and later figures
+reuse it.  ``SHARQFEC_BENCH_PACKETS`` (default 128) sets the stream length;
+export 1024 to reproduce the paper's full-scale runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_packets() -> int:
+    return int(os.environ.get("SHARQFEC_BENCH_PACKETS", "128"))
+
+
+@pytest.fixture(scope="session")
+def n_packets() -> int:
+    return bench_packets()
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    return int(os.environ.get("SHARQFEC_BENCH_SEED", "1"))

@@ -1,0 +1,86 @@
+"""Ablations: adaptive request timers (§7) and static vs elected ZCRs (§5.2).
+
+* ``adaptive_timers``: the paper leaves timer-constant adaptation to future
+  work; this bench compares the fixed-timer protocol with our SRM-style
+  adaptation of C1/C2.
+* ``static_zcrs``: the paper's deployment option of dedicated caching
+  receivers placed next to the border routers, versus fully dynamic
+  election.  Static placement removes the bootstrap transient.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.timeseries import series_stats
+from repro.core.config import SharqfecConfig
+from repro.core.protocol import SharqfecProtocol
+from repro.net.monitor import TrafficMonitor
+from repro.sim.scheduler import Simulator
+from repro.topology.figure10 import build_figure10
+
+
+def run_variant(n_packets: int, seed: int, adaptive: bool = False,
+                static: bool = False):
+    sim = Simulator(seed=seed)
+    topo = build_figure10(sim)
+    monitor = TrafficMonitor()
+    topo.network.add_observer(monitor)
+    config = SharqfecConfig(n_packets=n_packets, adaptive_timers=adaptive)
+    static_zcrs = None
+    if static:
+        static_zcrs = {zid: topo.heads[i] for i, zid in enumerate(topo.tree_zone_ids)}
+        for head in topo.heads:
+            for child in topo.children[head]:
+                child_zone = topo.hierarchy.smallest_zone(child)
+                static_zcrs[child_zone.zone_id] = child
+    proto = SharqfecProtocol(
+        topo.network, config, topo.source, topo.receivers, topo.hierarchy,
+        static_zcrs=static_zcrs,
+    )
+    proto.start(1.0, 6.0)
+    sim.run(until=6.0 + n_packets * config.inter_packet_interval + 12.0)
+    return {
+        "complete": proto.all_complete(),
+        "nacks": proto.total_nacks_sent(),
+        "dr": series_stats(
+            monitor.mean_series(["DATA", "FEC"], topo.receivers)
+        ).total,
+    }
+
+
+def test_ablation_adaptive_timers(benchmark, n_packets, seed):
+    fixed, adaptive = benchmark.pedantic(
+        lambda: (
+            run_variant(n_packets, seed, adaptive=False),
+            run_variant(n_packets, seed, adaptive=True),
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(f"  fixed timers   : complete={fixed['complete']} nacks={fixed['nacks']} dr={fixed['dr']:.0f}")
+    print(f"  adaptive timers: complete={adaptive['complete']} nacks={adaptive['nacks']} dr={adaptive['dr']:.0f}")
+    assert fixed["complete"] and adaptive["complete"]
+    # Adaptation must not degrade traffic wildly in either direction.
+    assert adaptive["dr"] < 1.5 * fixed["dr"]
+
+
+def test_ablation_static_vs_elected_zcrs(benchmark, n_packets, seed):
+    elected, static = benchmark.pedantic(
+        lambda: (
+            run_variant(n_packets, seed, static=False),
+            run_variant(n_packets, seed, static=True),
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(f"  elected ZCRs: complete={elected['complete']} nacks={elected['nacks']} dr={elected['dr']:.0f}")
+    print(f"  static  ZCRs: complete={static['complete']} nacks={static['nacks']} dr={static['dr']:.0f}")
+    assert elected["complete"] and static["complete"]
+    # Pre-provisioned ZCRs skip the election transient; the delivered
+    # data+repair volume must stay comparable.  (Raw NACK-send counts are
+    # reported but not asserted: scoped NACKs are cheap and zone-local, and
+    # static ZCRs begin zone-level signalling from the very first group,
+    # which shifts sends between scopes without changing receiver-visible
+    # traffic.)
+    assert static["dr"] <= 1.2 * elected["dr"]

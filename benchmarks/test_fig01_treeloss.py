@@ -1,0 +1,37 @@
+"""Figure 1: tree-loss analysis and non-scoped FEC traffic (§3.1).
+
+Paper claims: P(all nodes receive a packet) = 27.0%; the worst receiver X
+loses 9.73%; covering X inflates traffic on every cleaner branch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.treeloss import (
+    example_figure1_tree,
+    normalized_fec_traffic,
+    prob_all_receive,
+)
+from repro.experiments.registry import run_experiment
+
+
+def compute():
+    tree = example_figure1_tree()
+    return tree, prob_all_receive(tree), normalized_fec_traffic(tree, k=16)
+
+
+def test_fig1_tree_loss(benchmark):
+    tree, p_all, traffic = benchmark.pedantic(compute, rounds=3, iterations=1)
+    print()
+    print(run_experiment("fig1"))
+    # Paper: 27.0% all-receive probability.
+    assert p_all == pytest.approx(0.270, abs=0.002)
+    # Paper: worst receiver (X) at 9.73%.
+    worst_node, worst_loss = tree.worst_receiver()
+    assert worst_loss == pytest.approx(0.0973, abs=0.0005)
+    # Shape of the bottom panel: the source-side nodes carry ~9.7% surplus
+    # redundancy; X itself nets roughly the bare data volume.
+    top = tree.path_to(worst_node)[1]
+    assert traffic[top] > 1.05
+    assert traffic[worst_node] == pytest.approx(1.0, abs=0.03)

@@ -1,0 +1,31 @@
+"""Figure 8: state/traffic reduction via indirect RTT estimation (§5.1).
+
+Reproduces the published table for the 10,000,210-receiver national
+hierarchy exactly (modulo the paper's suburb-traffic typo, see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.state_table import state_reduction_table
+from repro.experiments.registry import run_experiment
+
+
+def test_fig8_state_reduction(benchmark):
+    rows = benchmark.pedantic(state_reduction_table, rounds=5, iterations=1)
+    print()
+    print(run_experiment("fig8"))
+    table = {r.level: r for r in rows}
+    assert table["National"].rtts_maintained == 10
+    assert table["Regional"].rtts_maintained == 30
+    assert table["City"].rtts_maintained == 130
+    assert table["Suburb"].rtts_maintained == 630
+    assert table["National"].scoped_traffic == 100
+    assert table["Regional"].scoped_traffic == 500
+    assert table["City"].scoped_traffic == 10_500
+    assert table["Suburb"].scoped_traffic == 260_500
+    n = table["Suburb"].nonscoped_state
+    assert n == 10_000_210
+    # State ratios reduce to 1/3/13/63 over 1,000,021 as published.
+    for level, expected in [("National", 1), ("Regional", 3), ("City", 13), ("Suburb", 63)]:
+        assert table[level].scoped_state * 1_000_021 == expected * n

@@ -1,0 +1,22 @@
+"""Figure 12: est/actual RTT ratios, fake NACKs from a level-2 receiver."""
+
+from __future__ import annotations
+
+from repro.experiments.session_sim import run_rtt_experiment
+
+
+def test_fig12_rtt_accuracy_child(benchmark, seed):
+    result = benchmark.pedantic(
+        run_rtt_experiment, kwargs={"role": "child", "seed": seed},
+        rounds=1, iterations=1,
+    )
+    print()
+    for rnd in result.rounds:
+        print(
+            f"  NACK #{rnd.nack_index} t={rnd.time:.1f}s median={rnd.median_ratio():.4f} "
+            f"within5%={rnd.fraction_within(0.05) * 100:.0f}% unresolved={len(rnd.unresolved)}"
+        )
+    final = result.final_round()
+    assert final.fraction_within(0.05) > 0.5
+    assert abs(final.median_ratio() - 1.0) < 0.05
+    assert result.improves_over_time()

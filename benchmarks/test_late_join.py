@@ -1,0 +1,34 @@
+"""Late-join localization (§7): the hierarchy confines catch-up traffic.
+
+A grandchild joins after 75% of the stream and backfills everything it
+missed.  Under scoping the recovery repairs stay near its zone; without
+scoping every receiver in the session eats them.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.late_join import run_late_join
+
+
+def test_late_join_localization(benchmark, n_packets, seed):
+    scoped, flat = benchmark.pedantic(
+        lambda: (
+            run_late_join(True, n_packets=n_packets, seed=seed),
+            run_late_join(False, n_packets=n_packets, seed=seed),
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    for r in (scoped, flat):
+        print(
+            f"  {r.protocol:14s} complete={r.complete} "
+            f"fec@local_peer={r.fec_at_local_peer} "
+            f"fec@remote_peer={r.fec_at_remote_peer} "
+            f"local/remote={r.localization_ratio:.2f}"
+        )
+    # Both recover the full stream, including the missed prefix.
+    assert scoped.complete and flat.complete
+    # Scoping shields remote zones from the catch-up traffic.
+    assert scoped.fec_at_remote_peer < 0.5 * flat.fec_at_remote_peer
+    # And the recovery skews local under scoping, flat without.
+    assert scoped.localization_ratio > flat.localization_ratio

@@ -1,0 +1,40 @@
+"""Session-traffic scaling: the §5 headline, measured.
+
+Paper: flat SRM-style sessions cost O(n²) traffic and O(n) state per
+receiver; SHARQFEC's scoped sessions cost the per-zone sums — "several
+orders of magnitude" less for large sessions (Figure 8's arithmetic).
+
+We measure session bytes per member on balanced trees of growing size and
+fit the per-member growth exponent.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.session_scaling import growth_exponent, scaling_sweep
+
+
+def test_session_scaling(benchmark, seed):
+    points = benchmark.pedantic(
+        scaling_sweep, kwargs={"seed": seed}, rounds=1, iterations=1
+    )
+    print()
+    for p in points:
+        print(
+            f"  {p.protocol:9s} members={p.n_members:4d} "
+            f"session bytes/member={p.session_bytes_per_member:10.0f} "
+            f"max RTT state={p.max_rtt_state}"
+        )
+    srm = [p for p in points if p.protocol == "SRM"]
+    sharq = [p for p in points if p.protocol == "SHARQFEC"]
+    srm_exp = growth_exponent(srm)
+    sharq_exp = growth_exponent(sharq)
+    print(f"  growth exponents: SRM={srm_exp:.2f} SHARQFEC={sharq_exp:.2f}")
+    # SRM's per-member session load grows ~quadratically (n peers x n-entry
+    # messages); SHARQFEC's stays sub-linear.
+    assert srm_exp > 1.5
+    assert sharq_exp < 1.0
+    # State: a flat receiver tracks every peer; a scoped one a small subset.
+    biggest_srm = max(srm, key=lambda p: p.n_members)
+    biggest_sharq = max(sharq, key=lambda p: p.n_members)
+    assert biggest_srm.max_rtt_state == biggest_srm.n_members - 1
+    assert biggest_sharq.max_rtt_state < biggest_srm.max_rtt_state / 2

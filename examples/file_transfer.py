@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Deliver a real file over a lossy multicast tree with the FEC codec.
+
+Where the simulation protocol tracks packet *identities*, this example
+pushes real bytes through the same erasure code: a document is split into
+FEC groups, shipped over a lossy simulated network, and reconstructed
+bit-exact at each receiver from whatever k-subset survived, requesting
+extra repair packets only when a group falls short.
+
+Run:  python examples/file_transfer.py
+"""
+
+import hashlib
+
+from repro.fec import GroupAssembler, NumpyErasureCodec, decode_blob, encode_blob
+from repro.net import Network, Packet
+from repro.sim import Simulator
+
+GROUP_K = 8
+PROACTIVE_REPAIRS = 2
+
+
+class PayloadPdu(Packet):
+    """A data or repair packet carrying real bytes."""
+
+    __slots__ = ("blob_id", "index", "payload", "header")
+
+    def __init__(self, src, group, blob_id, index, payload, header):
+        super().__init__("DATA" if index < GROUP_K else "FEC", src, group,
+                         len(payload) + 32)
+        self.blob_id = blob_id
+        self.index = index
+        self.payload = payload
+        self.header = header
+
+
+def main() -> None:
+    document = (
+        b"SHARQFEC delivers this memo reliably to every subscriber.\n" * 220
+    )
+    digest = hashlib.sha256(document).hexdigest()
+
+    sim = Simulator(seed=7)
+    net = Network(sim)
+    for _ in range(5):
+        net.add_node()
+    net.add_link(0, 1, 10e6, 0.01)
+    for leaf in (2, 3, 4):
+        net.add_link(1, leaf, 10e6, 0.02, loss_rate=0.25)
+    group = net.create_group("blob")
+    receivers = [2, 3, 4]
+
+    # Shard the document into GROUP_K-packet FEC groups of <= 1 KiB packets.
+    shard_size = GROUP_K * 1024
+    shards = [document[i : i + shard_size] for i in range(0, len(document), shard_size)]
+    encoded = [encode_blob(shard, GROUP_K, PROACTIVE_REPAIRS) for shard in shards]
+    codec = NumpyErasureCodec(GROUP_K)  # the vectorized codec, ~20x faster
+
+    assemblers = {rid: [GroupAssembler(GROUP_K, b) for b in range(len(shards))]
+                  for rid in receivers}
+    extra_requests = {rid: 0 for rid in receivers}
+
+    def on_receive(rid, pdu):
+        asm = assemblers[rid][pdu.blob_id]
+        asm.add(pdu.index, pdu.payload)
+
+    for rid in receivers:
+        net.subscribe(group.group_id, rid,
+                      lambda p, rid=rid: on_receive(rid, p))
+
+    def send(blob_id, index, payload):
+        header, data, repairs = encoded[blob_id]
+        net.multicast(0, PayloadPdu(0, group.group_id, blob_id, index, payload, header))
+
+    # Phase 1: data + proactive repairs at a steady clip.
+    t = 0.0
+    for blob_id, (header, data, repairs) in enumerate(encoded):
+        for index, payload in enumerate(list(data) + list(repairs)):
+            sim.at(t, send, blob_id, index, bytes(payload))
+            t += 0.002
+    sim.run()
+
+    # Phase 2: receivers with incomplete groups request more repairs; the
+    # source answers with fresh FEC identities until everyone can decode.
+    next_repair_index = {b: PROACTIVE_REPAIRS for b in range(len(shards))}
+    for round_no in range(10):
+        needed = {}
+        for rid in receivers:
+            for blob_id, asm in enumerate(assemblers[rid]):
+                if not asm.is_complete():
+                    needed[blob_id] = max(needed.get(blob_id, 0), asm.deficit())
+                    extra_requests[rid] += 1
+        if not needed:
+            break
+        for blob_id, deficit in needed.items():
+            header, data, _ = encoded[blob_id]
+            for _ in range(deficit):
+                r = next_repair_index[blob_id]
+                next_repair_index[blob_id] += 1
+                payload = codec.encode_one([bytes(d) for d in data], r)
+                sim.schedule(0.002, send, blob_id, GROUP_K + r, payload)
+        sim.run()
+
+    # Phase 3: every receiver reassembles the document bit-exact.
+    for rid in receivers:
+        parts = []
+        for blob_id, asm in enumerate(assemblers[rid]):
+            header = encoded[blob_id][0]
+            data = asm.reconstruct()  # real GF(256) matrix inversion
+            parts.append(decode_blob(header, dict(enumerate(data))))
+        rebuilt = b"".join(parts)
+        ok = hashlib.sha256(rebuilt).hexdigest() == digest
+        print(f"receiver {rid}: {len(rebuilt)} bytes, "
+              f"extra repair rounds used: {extra_requests[rid]}, "
+              f"sha256 {'OK' if ok else 'MISMATCH'}")
+        assert ok
+    print(f"document of {len(document)} bytes delivered bit-exact to "
+          f"{len(receivers)} receivers over 25%-loss links.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""An operator's end-of-run report for a SHARQFEC session.
+
+Runs the paper's topology with a moderate stream and prints the per-zone
+repair breakdown (where did the NACKs and FEC flow?) plus the lossiest
+receivers — the kind of visibility a deployment would want from the
+protocol's own accounting, no packet captures needed.
+
+Run:  python examples/run_report.py
+"""
+
+from repro.analysis.summary import render_run_report
+from repro.core import SharqfecConfig, SharqfecProtocol
+from repro.net.monitor import TrafficMonitor
+from repro.sim import Simulator
+from repro.topology import build_figure10
+
+
+def main() -> None:
+    sim = Simulator(seed=9)
+    topo = build_figure10(sim)
+    monitor = TrafficMonitor()
+    topo.network.add_observer(monitor)
+
+    config = SharqfecConfig(n_packets=192)
+    protocol = SharqfecProtocol(
+        topo.network, config, topo.source, topo.receivers, topo.hierarchy
+    )
+    protocol.start(session_start=1.0, data_start=6.0)
+    sim.run(until=6.0 + config.n_packets * config.inter_packet_interval + 12.0)
+
+    print(render_run_report(protocol, monitor, top_n=8))
+    print()
+    print("reading the zone table: level-0 repairs crossed the whole session")
+    print("(backbone losses and sender injection); level-1/2 repairs never")
+    print("left their tree / child zone — the localization the paper is about.")
+
+
+if __name__ == "__main__":
+    main()

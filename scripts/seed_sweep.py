@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Robustness sweep: key figure metrics across seeds.
+
+Quantifies run-to-run variance of the headline comparisons (ECSRM vs full
+SHARQFEC) so EXPERIMENTS.md can report mean ± stdev rather than a single
+seed.  Usage: python scripts/seed_sweep.py [packets] [n_seeds]
+"""
+
+from __future__ import annotations
+
+import sys
+from statistics import mean, pstdev
+
+from repro.analysis.timeseries import series_stats
+from repro.experiments.common import run_traffic
+
+
+def main() -> None:
+    packets = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    n_seeds = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    metrics = {
+        "ECSRM dr_total": [], "SHARQFEC dr_total": [],
+        "ECSRM dr_peak": [], "SHARQFEC dr_peak": [],
+        "ECSRM nack_total": [], "SHARQFEC nack_total": [],
+        "ECSRM src_extra": [], "SHARQFEC src_extra": [],
+    }
+    for seed in range(1, n_seeds + 1):
+        for variant, tag in (("SHARQFEC(ns,ni,so)", "ECSRM"), ("SHARQFEC", "SHARQFEC")):
+            run = run_traffic(variant, n_packets=packets, seed=seed)
+            assert run.completion == 1.0, (variant, seed)
+            dr = series_stats(run.data_repair_series())
+            nk = series_stats(run.nack_series())
+            src = series_stats(run.source_data_repair_series())
+            metrics[f"{tag} dr_total"].append(dr.total)
+            metrics[f"{tag} dr_peak"].append(dr.peak)
+            metrics[f"{tag} nack_total"].append(nk.total)
+            metrics[f"{tag} src_extra"].append(src.total - packets)
+        print(f"seed {seed} done", flush=True)
+    print(f"\n{packets} packets, seeds 1..{n_seeds}:")
+    for name, values in metrics.items():
+        print(f"  {name:22s} mean={mean(values):8.1f} sd={pstdev(values):7.1f}")
+    for metric in ("dr_total", "dr_peak", "nack_total", "src_extra"):
+        e = mean(metrics[f"ECSRM {metric}"])
+        s = mean(metrics[f"SHARQFEC {metric}"])
+        print(f"  SHARQFEC/{'ECSRM':5s} {metric:10s} ratio = {s / e:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""SHARQFEC reproduction library.
+
+A from-scratch Python implementation of the systems behind
+
+    Kermode, "Scoped Hybrid Automatic Repeat reQuest with Forward Error
+    Correction (SHARQFEC)", SIGCOMM 1998.
+
+Subpackages:
+
+* :mod:`repro.sim` — discrete-event simulation engine (the paper used ns).
+* :mod:`repro.net` — network model: links, nodes, routing, multicast.
+* :mod:`repro.scoping` — administratively scoped zone hierarchies.
+* :mod:`repro.fec` — GF(256) Reed–Solomon erasure codec.
+* :mod:`repro.srm` — Scalable Reliable Multicast baseline.
+* :mod:`repro.core` — the SHARQFEC protocol (the paper's contribution).
+* :mod:`repro.analysis` — analytical models and traffic post-processing.
+* :mod:`repro.topology` — topology builders, including the paper's Fig 10.
+* :mod:`repro.experiments` — per-figure experiment drivers and CLI.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

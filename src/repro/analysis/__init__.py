@@ -1,0 +1,50 @@
+"""Analytic models and traffic post-processing.
+
+* :mod:`repro.analysis.treeloss` — §3.1's compounded-loss arithmetic and the
+  normalized non-scoped FEC traffic of Figure 1.
+* :mod:`repro.analysis.state_table` — Figure 8's scoped-vs-non-scoped
+  session state/traffic reduction table.
+* :mod:`repro.analysis.timeseries` — helpers over the per-0.1 s traffic
+  series the §6.2 figures plot.
+* :mod:`repro.analysis.report` — fixed-width table rendering for the
+  benchmark harness output.
+"""
+
+from repro.analysis.latency import LatencyStats, latency_stats, recovery_latencies
+from repro.analysis.report import render_series, render_table
+from repro.analysis.state_table import StateTableRow, state_reduction_table
+from repro.analysis.summary import (
+    ReceiverSummary,
+    ZoneSummary,
+    receiver_summaries,
+    render_run_report,
+    zone_summaries,
+)
+from repro.analysis.timeseries import series_stats, repair_tail_length
+from repro.analysis.treeloss import (
+    LossTree,
+    example_figure1_tree,
+    normalized_fec_traffic,
+    prob_all_receive,
+)
+
+__all__ = [
+    "LatencyStats",
+    "LossTree",
+    "StateTableRow",
+    "latency_stats",
+    "recovery_latencies",
+    "ReceiverSummary",
+    "ZoneSummary",
+    "receiver_summaries",
+    "render_run_report",
+    "zone_summaries",
+    "example_figure1_tree",
+    "normalized_fec_traffic",
+    "prob_all_receive",
+    "render_series",
+    "render_table",
+    "repair_tail_length",
+    "series_stats",
+    "state_reduction_table",
+]

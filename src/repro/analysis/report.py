@@ -1,0 +1,86 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+The paper's evaluation is all figures; the harness prints the same series
+as aligned text so a run's output is directly comparable to the curves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(series: Sequence[float], width: int = 72) -> str:
+    """Render a series as a one-line unicode sparkline.
+
+    Values are min-max normalized over the series; longer series are
+    downsampled to ``width`` by taking per-bucket maxima (peaks matter more
+    than troughs for traffic plots).
+    """
+    values = [float(v) for v in series]
+    if not values:
+        return ""
+    if len(values) > width:
+        bucket = len(values) / width
+        values = [
+            max(values[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            for i in range(width)
+        ]
+    low = min(values)
+    high = max(values)
+    if high - low < 1e-12:
+        return _SPARK_LEVELS[0] * len(values)
+    scale = (len(_SPARK_LEVELS) - 1) / (high - low)
+    return "".join(_SPARK_LEVELS[int((v - low) * scale)] for v in values)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Dict[str, List[float]],
+    bin_width: float = 0.1,
+    t_start: float = 0.0,
+    title: str = "",
+    every: int = 1,
+    precision: int = 1,
+) -> str:
+    """Render one or more aligned time series as a text table.
+
+    Args:
+        series: label -> per-interval values (all series share binning).
+        bin_width: interval width in seconds.
+        t_start: time of the first bin's left edge.
+        every: print every Nth bin (downsampling long runs).
+        precision: decimals for the values.
+    """
+    if not series:
+        return title
+    length = max(len(v) for v in series.values())
+    headers = ["t(s)"] + list(series)
+    rows = []
+    for i in range(0, length, max(every, 1)):
+        t = t_start + (i + 0.5) * bin_width
+        row: List[object] = [f"{t:.2f}"]
+        for label in series:
+            values = series[label]
+            row.append(f"{values[i]:.{precision}f}" if i < len(values) else "")
+        rows.append(row)
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,124 @@
+"""Whole-run summaries: per-zone and per-receiver accounting.
+
+Turns a finished :class:`~repro.core.protocol.SharqfecProtocol` run plus
+its :class:`~repro.net.monitor.TrafficMonitor` into the tables an operator
+would want: where the repairs flowed, which zones requested most, and how
+each receiver fared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.report import render_table
+from repro.core.protocol import SharqfecProtocol
+from repro.net.monitor import TrafficMonitor
+
+
+@dataclass
+class ZoneSummary:
+    """Aggregate behaviour of one zone across a run."""
+
+    zone_name: str
+    level: int
+    members: int
+    zcr: str
+    nacks_sent: int
+    repairs_sent: int
+
+
+@dataclass
+class ReceiverSummary:
+    """One receiver's outcome."""
+
+    node_id: int
+    data_received: int
+    groups_complete: int
+    nacks_sent: int
+    rtt_state: int
+
+
+def zone_summaries(protocol: SharqfecProtocol) -> List[ZoneSummary]:
+    """Per-zone NACK/repair accounting from the agents' send counters."""
+    agents = [protocol.sender, *protocol.receivers.values()]
+    summaries: List[ZoneSummary] = []
+    for zone in protocol.hierarchy.zones():
+        zone_members = [rid for rid in protocol.receivers if rid in zone.nodes]
+        zcr_views = {
+            protocol.receivers[rid].session.zcr_ids.get(zone.zone_id)
+            for rid in zone_members
+        }
+        zcr = zcr_views.pop() if len(zcr_views) == 1 else None
+        summaries.append(
+            ZoneSummary(
+                zone_name=zone.name,
+                level=zone.level,
+                members=len(zone_members),
+                zcr=str(zcr) if zcr is not None else "?",
+                nacks_sent=sum(a.nacks_by_zone.get(zone.zone_id, 0) for a in agents),
+                repairs_sent=sum(a.repairs_by_zone.get(zone.zone_id, 0) for a in agents),
+            )
+        )
+    return summaries
+
+
+def receiver_summaries(protocol: SharqfecProtocol) -> List[ReceiverSummary]:
+    """Per-receiver outcome rows."""
+    rows = []
+    for rid in sorted(protocol.receivers):
+        agent = protocol.receivers[rid]
+        rows.append(
+            ReceiverSummary(
+                node_id=rid,
+                data_received=agent.data_received,
+                groups_complete=agent.groups_complete(),
+                nacks_sent=agent.nacks_sent,
+                rtt_state=agent.session.rtt.state_size(),
+            )
+        )
+    return rows
+
+
+def render_run_report(
+    protocol: SharqfecProtocol,
+    monitor: TrafficMonitor,
+    top_n: int = 10,
+) -> str:
+    """A printable end-of-run report."""
+    lines = [f"run report — {protocol.variant_name()}"]
+    lines.append(
+        f"  delivery: {protocol.completion_fraction() * 100:.1f}% of "
+        f"{protocol.config.n_groups} groups at {len(protocol.receivers)} receivers"
+    )
+    lines.append(
+        f"  traffic: DATA={monitor.sends.get('DATA', 0)} "
+        f"FEC={monitor.sends.get('FEC', 0)} NACK={monitor.sends.get('NACK', 0)} "
+        f"SESSION={monitor.sends.get('SESSION', 0)} sends; "
+        f"{monitor.drops} link drops"
+    )
+    zones = zone_summaries(protocol)
+    lines.append(
+        render_table(
+            ["zone", "level", "members", "ZCR", "NACKs", "repairs"],
+            [
+                (z.zone_name, z.level, z.members, z.zcr, z.nacks_sent, z.repairs_sent)
+                for z in zones
+            ],
+            title="  per-zone repair activity:",
+        )
+    )
+    receivers = receiver_summaries(protocol)
+    worst = sorted(receivers, key=lambda r: r.data_received)[:top_n]
+    rows = [
+        (r.node_id, r.data_received, r.groups_complete, r.nacks_sent, r.rtt_state)
+        for r in worst
+    ]
+    lines.append(
+        render_table(
+            ["receiver", "data rcvd", "groups done", "NACKs", "RTT entries"],
+            rows,
+            title=f"  {top_n} lossiest receivers:",
+        )
+    )
+    return "\n".join(lines)

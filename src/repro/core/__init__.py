@@ -1,0 +1,34 @@
+"""SHARQFEC: the paper's contribution.
+
+Scoped Hybrid ARQ/FEC reliable multicast:
+
+* two-phase delivery per packet group — Loss Detection Phase then Repair
+  Phase (§4),
+* Local/Zone Loss Counts with SRM-style suppression timers,
+* preemptive FEC injection by Zone Closest Receivers driven by an EWMA
+  predictor,
+* scoped session management with indirect RTT estimation (§5, §5.1),
+* ZCR election via challenge/response/takeover (§5.2).
+
+The protocol's ablation flags reproduce the paper's comparison variants:
+``scoping=False`` (ns), ``injection=False`` (ni), ``sender_only=True``
+(so); SHARQFEC(ns,ni,so) is the paper's stand-in for ECSRM.
+"""
+
+from repro.core.config import SharqfecConfig
+from repro.core.injection import EwmaPredictor
+from repro.core.protocol import SharqfecProtocol
+from repro.core.receiver import SharqfecReceiver
+from repro.core.rtt import RttTable
+from repro.core.sender import SharqfecSender
+from repro.core.session import SessionManager
+
+__all__ = [
+    "EwmaPredictor",
+    "RttTable",
+    "SessionManager",
+    "SharqfecConfig",
+    "SharqfecProtocol",
+    "SharqfecReceiver",
+    "SharqfecSender",
+]

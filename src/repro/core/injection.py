@@ -1,0 +1,45 @@
+"""EWMA redundancy predictor for preemptive FEC injection (§4).
+
+The paper:
+
+    ``zlc_pred(n) = 0.75 * zlc_pred(n-1) + 0.25 * zlc(n)``
+
+where ``zlc(n)`` is the measured Zone Loss Count of group ``n`` when known
+(from NACKs), or the measuring receiver's own LLC when no NACK revealed the
+true ZLC.  The predictor's integer output is the number of FEC packets a
+Zone Closest Receiver injects into its zone without waiting for requests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class EwmaPredictor:
+    """Exponentially weighted moving average over per-group loss counts."""
+
+    def __init__(self, keep: float = 0.75, initial: float = 0.0) -> None:
+        if not 0.0 <= keep < 1.0:
+            raise ConfigError(f"keep must be in [0, 1), got {keep}")
+        self.keep = keep
+        self.value = float(initial)
+        self.samples = 0
+
+    def update(self, sample: float) -> float:
+        """Fold one group's loss count into the prediction."""
+        if sample < 0:
+            raise ConfigError(f"negative loss sample {sample}")
+        self.value = self.keep * self.value + (1.0 - self.keep) * float(sample)
+        self.samples += 1
+        return self.value
+
+    def predict(self) -> float:
+        """Current smoothed loss estimate (fractional)."""
+        return self.value
+
+    def predict_packets(self) -> int:
+        """Whole FEC packets to inject: the rounded prediction, floored at 0."""
+        return max(0, int(round(self.value)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EwmaPredictor {self.value:.3f} after {self.samples} samples>"

@@ -1,0 +1,256 @@
+"""SHARQFEC protocol data units.
+
+Packet ``kind`` strings double as traffic-monitor categories; the figures
+aggregate ``DATA`` + ``FEC`` ("data and repair traffic") and ``NACK``.
+
+Per the paper's simulation setup (§6.2), session traffic and NACKs are not
+subject to loss — their PDUs are created ``loss_exempt``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.net.packet import Packet
+
+
+class DataPdu(Packet):
+    """An original data packet of the CBR stream."""
+
+    __slots__ = ("seq", "group_id", "index", "payload")
+
+    def __init__(
+        self,
+        src: int,
+        group: int,
+        size_bytes: int,
+        seq: int,
+        group_id: int,
+        index: int,
+        payload: Optional[bytes] = None,
+    ) -> None:
+        super().__init__("DATA", src, group, size_bytes)
+        self.seq = seq
+        self.group_id = group_id
+        self.index = index
+        self.payload = payload
+
+    def describe(self) -> str:
+        return f"DATA(seq={self.seq}, g={self.group_id}, i={self.index})"
+
+
+class FecPdu(Packet):
+    """A repair packet: FEC identity ``index`` (>= k) of ``group_id``.
+
+    ``new_high_id`` announces "what will be the new highest packet
+    identifier" (§4) so other repairers avoid duplicating identities.
+    ``zone_level`` records which scope's repair channel it was sent on.
+    """
+
+    __slots__ = ("group_id", "index", "new_high_id", "zone_id", "payload")
+
+    def __init__(
+        self,
+        src: int,
+        group: int,
+        size_bytes: int,
+        group_id: int,
+        index: int,
+        new_high_id: int,
+        zone_id: int,
+        payload: Optional[bytes] = None,
+    ) -> None:
+        super().__init__("FEC", src, group, size_bytes)
+        self.group_id = group_id
+        self.index = index
+        self.new_high_id = new_high_id
+        self.zone_id = zone_id
+        self.payload = payload
+
+    def describe(self) -> str:
+        return f"FEC(g={self.group_id}, i={self.index}, zone={self.zone_id})"
+
+
+class RttChainEntry(NamedTuple):
+    """One ancestor-ZCR hop in a NACK's RTT chain (§5.1).
+
+    Attributes:
+        zone_id: the zone whose ZCR this is.
+        zcr_id: that zone's Zone Closest Receiver.
+        rtt_to_sender: the NACK sender's RTT estimate to that ZCR.
+    """
+
+    zone_id: int
+    zcr_id: int
+    rtt_to_sender: float
+
+
+class NackPdu(Packet):
+    """A repair request.
+
+    Carries the sender's Local Loss Count, the greatest packet identifier it
+    has seen for the group, and how many more packets it needs (§4) — never
+    the identity of a specific packet.  The ``rtt_chain`` lets any hearer
+    estimate its RTT to the sender indirectly (§5.1).
+    """
+
+    __slots__ = ("group_id", "llc", "highest_seen", "n_needed", "zone_id", "rtt_chain")
+
+    def __init__(
+        self,
+        src: int,
+        group: int,
+        size_bytes: int,
+        group_id: int,
+        llc: int,
+        highest_seen: int,
+        n_needed: int,
+        zone_id: int,
+        rtt_chain: Tuple[RttChainEntry, ...] = (),
+    ) -> None:
+        super().__init__("NACK", src, group, size_bytes, loss_exempt=True)
+        self.group_id = group_id
+        self.llc = llc
+        self.highest_seen = highest_seen
+        self.n_needed = n_needed
+        self.zone_id = zone_id
+        self.rtt_chain = rtt_chain
+
+    def describe(self) -> str:
+        return (
+            f"NACK(g={self.group_id}, llc={self.llc}, need={self.n_needed}, "
+            f"zone={self.zone_id})"
+        )
+
+
+class SessionEntry(NamedTuple):
+    """Per-peer record inside a session message (§5).
+
+    Attributes:
+        peer_id: the receiver this entry describes.
+        peer_timestamp: the send-time of the last session message heard from
+            that peer (echoed back so the peer can close the RTT loop).
+        elapsed: time between hearing that message and sending this one.
+        rtt_estimate: the sender's current RTT estimate to the peer (or a
+            negative value when unknown).
+    """
+
+    peer_id: int
+    peer_timestamp: float
+    elapsed: float
+    rtt_estimate: float
+
+
+class SessionPdu(Packet):
+    """A scoped session message (§5).
+
+    Contains the sender's timestamp, the zone's ZCR identity (with its
+    election epoch), the recorded ZCR-to-parent-ZCR distance, and one
+    :class:`SessionEntry` per peer heard in this zone.
+    """
+
+    __slots__ = (
+        "zone_id",
+        "timestamp",
+        "zcr_id",
+        "zcr_parent_rtt",
+        "zcr_epoch",
+        "entries",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        group: int,
+        size_bytes: int,
+        zone_id: int,
+        timestamp: float,
+        zcr_id: int,
+        zcr_parent_rtt: float,
+        entries: Tuple[SessionEntry, ...],
+        zcr_epoch: int = 0,
+    ) -> None:
+        super().__init__("SESSION", src, group, size_bytes, loss_exempt=True)
+        self.zone_id = zone_id
+        self.timestamp = timestamp
+        self.zcr_id = zcr_id
+        self.zcr_parent_rtt = zcr_parent_rtt
+        self.zcr_epoch = zcr_epoch
+        self.entries = entries
+
+    def describe(self) -> str:
+        return f"SESSION(zone={self.zone_id}, |entries|={len(self.entries)})"
+
+
+class ZcrChallengePdu(Packet):
+    """ZCR challenge: sent toward the parent ZCR; zone peers overhear (§5.2)."""
+
+    __slots__ = ("zone_id", "challenger_id", "sent_at")
+
+    def __init__(
+        self,
+        src: int,
+        group: int,
+        size_bytes: int,
+        zone_id: int,
+        sent_at: float,
+    ) -> None:
+        super().__init__("ZCR_CHAL", src, group, size_bytes, loss_exempt=True)
+        self.zone_id = zone_id
+        self.challenger_id = src
+        self.sent_at = sent_at
+
+    def describe(self) -> str:
+        return f"ZCR_CHAL(zone={self.zone_id}, from={self.challenger_id})"
+
+
+class ZcrResponsePdu(Packet):
+    """Parent ZCR's response, carrying its processing delay (§5.2)."""
+
+    __slots__ = ("zone_id", "challenger_id", "processing_delay")
+
+    def __init__(
+        self,
+        src: int,
+        group: int,
+        size_bytes: int,
+        zone_id: int,
+        challenger_id: int,
+        processing_delay: float,
+    ) -> None:
+        super().__init__("ZCR_RESP", src, group, size_bytes, loss_exempt=True)
+        self.zone_id = zone_id
+        self.challenger_id = challenger_id
+        self.processing_delay = processing_delay
+
+    def describe(self) -> str:
+        return f"ZCR_RESP(zone={self.zone_id})"
+
+
+class ZcrTakeoverPdu(Packet):
+    """Announcement that the sender is the zone's new closest receiver (§5.2).
+
+    ``epoch`` orders competing claims across election rounds: a takeover
+    issued after a ZCR failure carries a higher epoch and beats any stale
+    state advertising the dead representative, however short its recorded
+    distance.
+    """
+
+    __slots__ = ("zone_id", "dist_to_parent", "epoch")
+
+    def __init__(
+        self,
+        src: int,
+        group: int,
+        size_bytes: int,
+        zone_id: int,
+        dist_to_parent: float,
+        epoch: int = 0,
+    ) -> None:
+        super().__init__("ZCR_TAKE", src, group, size_bytes, loss_exempt=True)
+        self.zone_id = zone_id
+        self.dist_to_parent = dist_to_parent
+        self.epoch = epoch
+
+    def describe(self) -> str:
+        return f"ZCR_TAKE(zone={self.zone_id}, d={self.dist_to_parent:.4f}, e={self.epoch})"

@@ -1,0 +1,136 @@
+"""Session-level wiring: hierarchy + channels + sender + receivers.
+
+``SharqfecProtocol`` is the public entry point: give it a network, a zone
+hierarchy (or none for the non-scoped variants), a config and the node
+roles, and it builds the channel plan and the agents, and exposes the
+start/stat helpers the experiment drivers use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.config import SharqfecConfig
+from repro.core.receiver import SharqfecReceiver
+from repro.core.sender import SharqfecSender
+from repro.errors import ConfigError
+from repro.net.network import Network
+from repro.scoping.channels import ScopedChannels
+from repro.scoping.zone import ZoneHierarchy
+
+
+class SharqfecProtocol:
+    """One SHARQFEC session over a simulated network."""
+
+    def __init__(
+        self,
+        network: Network,
+        config: SharqfecConfig,
+        source_id: int,
+        receiver_ids: Iterable[int],
+        hierarchy: Optional[ZoneHierarchy] = None,
+        static_zcrs: Optional[Dict[int, int]] = None,
+    ) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.config = config
+        self.source_id = source_id
+        self.receiver_ids: List[int] = sorted(set(receiver_ids) - {source_id})
+        if not self.receiver_ids:
+            raise ConfigError("a session needs at least one receiver")
+        members = set(self.receiver_ids) | {source_id}
+        if not config.scoping or hierarchy is None:
+            # Non-scoped variants collapse the hierarchy to a single zone.
+            flat = ZoneHierarchy()
+            flat.add_root(members, name="Z0")
+            self.hierarchy = flat
+        else:
+            missing = members - hierarchy.members()
+            if missing:
+                raise ConfigError(
+                    f"hierarchy does not cover session members {sorted(missing)}"
+                )
+            self.hierarchy = hierarchy
+        self.channels = ScopedChannels(network, self.hierarchy)
+        self.sender = SharqfecSender(
+            source_id, self.sim, network, self.channels, config, source_id
+        )
+        self.receivers: Dict[int, SharqfecReceiver] = {
+            rid: SharqfecReceiver(
+                rid, self.sim, network, self.channels, config, source_id
+            )
+            for rid in self.receiver_ids
+        }
+        if static_zcrs:
+            self._seed_static_zcrs(static_zcrs)
+
+    def _seed_static_zcrs(self, static_zcrs: Dict[int, int]) -> None:
+        """Provision designed ZCRs (§5.2: "a cache placed next to the
+        zone's Border Gateway Router").  Members start with the assignment
+        already known; the challenge phase then only serves as the
+        robustness fallback."""
+        for zone_id, zcr_node in static_zcrs.items():
+            zone = self.hierarchy.zone(zone_id)
+            if zcr_node not in zone.nodes:
+                raise ConfigError(
+                    f"static ZCR {zcr_node} is not a member of zone {zone.name!r}"
+                )
+            for agent in [self.sender, *self.receivers.values()]:
+                if agent.session.zone_level_index(zone_id) is not None:
+                    agent.session.zcr_ids[zone_id] = zcr_node
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self, session_start: float = 1.0, data_start: float = 6.0) -> None:
+        """Schedule the paper's run shape: sessions at t=1, data at t=6 (§6.2)."""
+        if data_start < session_start:
+            raise ConfigError("data must not start before the session")
+        self.sim.at(session_start, self._start_sessions)
+        self.sim.at(data_start, self.sender.start_stream, data_start)
+
+    def _start_sessions(self) -> None:
+        self.sender.start_session()
+        for receiver in self.receivers.values():
+            receiver.start_session()
+
+    def stop(self) -> None:
+        """Cancel every agent timer (ends an open-ended run cleanly)."""
+        self.sender.stop()
+        for receiver in self.receivers.values():
+            receiver.stop()
+
+    # ------------------------------------------------------------- statistics
+
+    def data_end_time(self, data_start: float = 6.0) -> float:
+        """When the CBR stream finishes."""
+        return data_start + self.config.n_packets * self.config.inter_packet_interval
+
+    def completion_fraction(self) -> float:
+        """Fraction of (receiver, group) pairs fully reconstructed."""
+        total = len(self.receivers) * self.config.n_groups
+        if total == 0:
+            return 1.0
+        done = sum(r.groups_complete() for r in self.receivers.values())
+        return done / total
+
+    def all_complete(self) -> bool:
+        """True when every receiver reconstructed every group."""
+        return all(
+            r.all_complete(self.config.n_groups) for r in self.receivers.values()
+        )
+
+    def incomplete_receivers(self) -> List[int]:
+        """Receiver ids still missing at least one group."""
+        return [
+            rid
+            for rid, r in self.receivers.items()
+            if not r.all_complete(self.config.n_groups)
+        ]
+
+    def total_nacks_sent(self) -> int:
+        """NACK transmissions summed over receivers."""
+        return sum(r.nacks_sent for r in self.receivers.values())
+
+    def variant_name(self) -> str:
+        """Paper-style protocol name for reports."""
+        return self.config.variant_name()

@@ -1,0 +1,122 @@
+"""RTT estimation state (§5, §5.1).
+
+One :class:`RttTable` per session member holds:
+
+* **direct** RTT estimates to peers measured via session-message timestamp
+  echo (SRM-style: A stamps ``t1``; B records arrival; B's next message
+  echoes ``(t1, elapsed)``; A computes ``rtt = now - t1 - elapsed``),
+* the most recent message heard from each peer (what we must echo back),
+* **overheard** ZCR tables: for each of our ancestral ZCRs, the RTTs it
+  advertises to the peers of its *parent* zone — the "summarized view of
+  more distant receivers" that makes indirect estimation possible.
+
+New samples merge into old estimates through an EWMA, which is why the
+paper's Figures 11–13 show estimates converging asymptotically after a
+suboptimal initial ZCR election.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class RttTable:
+    """Per-node RTT estimate storage."""
+
+    def __init__(self, node_id: int, ewma_keep: float = 0.75) -> None:
+        self.node_id = node_id
+        self.ewma_keep = ewma_keep
+        # peer -> smoothed RTT estimate (seconds)
+        self._estimates: Dict[int, float] = {}
+        # (zone_id, peer) -> (peer's send timestamp, our receive time)
+        self._heard: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        # zcr -> peer -> RTT the ZCR advertises to that peer
+        self._zcr_peer_rtts: Dict[int, Dict[int, float]] = {}
+
+    # ------------------------------------------------------------- direct RTT
+
+    def observe(self, peer: int, sample: float) -> float:
+        """Merge a fresh RTT sample for ``peer``; returns the new estimate."""
+        if sample < 0:
+            sample = 0.0
+        current = self._estimates.get(peer)
+        if current is None:
+            merged = sample
+        else:
+            merged = self.ewma_keep * current + (1.0 - self.ewma_keep) * sample
+        self._estimates[peer] = merged
+        return merged
+
+    def get(self, peer: int) -> Optional[float]:
+        """Direct RTT estimate to ``peer``, or None."""
+        if peer == self.node_id:
+            return 0.0
+        return self._estimates.get(peer)
+
+    def one_way(self, peer: int) -> Optional[float]:
+        """Half the RTT estimate — the ``d_S,A`` of the timer formulas."""
+        rtt = self.get(peer)
+        return None if rtt is None else rtt / 2.0
+
+    def known_peers(self) -> Dict[int, float]:
+        """Copy of all direct estimates (peer -> RTT)."""
+        return dict(self._estimates)
+
+    def forget(self, peer: int) -> None:
+        """Drop all state about a departed peer."""
+        self._estimates.pop(peer, None)
+        for key in [k for k in self._heard if k[1] == peer]:
+            del self._heard[key]
+        self._zcr_peer_rtts.pop(peer, None)
+
+    # ---------------------------------------------------------------- echoing
+
+    def record_heard(self, zone_id: int, peer: int, peer_timestamp: float, now: float) -> None:
+        """Remember a session message so the next one of ours can echo it."""
+        self._heard[(zone_id, peer)] = (peer_timestamp, now)
+
+    def heard_in_zone(self, zone_id: int) -> Dict[int, Tuple[float, float]]:
+        """Peers heard in a zone: peer -> (their timestamp, our recv time)."""
+        return {
+            peer: info for (zid, peer), info in self._heard.items() if zid == zone_id
+        }
+
+    def prune_stale(self, now: float, timeout: float) -> List[int]:
+        """Drop peers not heard within ``timeout``; returns their ids."""
+        stale = [
+            key for key, (_ts, recv_at) in self._heard.items()
+            if now - recv_at > timeout
+        ]
+        for key in stale:
+            del self._heard[key]
+        return sorted({peer for (_zid, peer) in stale})
+
+    def close_echo(self, peer: int, peer_sent_at: float, elapsed: float, now: float) -> float:
+        """Finish an RTT measurement from an echoed entry about ourselves.
+
+        ``peer`` sent a session entry saying: "I heard your message stamped
+        ``peer_sent_at`` and sat on it for ``elapsed`` seconds."
+        """
+        sample = now - peer_sent_at - elapsed
+        return self.observe(peer, sample)
+
+    # ----------------------------------------------------------- ZCR overhear
+
+    def set_zcr_peer_rtt(self, zcr: int, peer: int, rtt: float) -> None:
+        """Record a ZCR-advertised RTT between the ZCR and a parent-zone peer."""
+        if rtt < 0:
+            return
+        self._zcr_peer_rtts.setdefault(zcr, {})[peer] = rtt
+
+    def zcr_peer_rtt(self, zcr: int, peer: int) -> Optional[float]:
+        """The RTT a ZCR advertises to one of its parent-zone peers."""
+        table = self._zcr_peer_rtts.get(zcr)
+        if table is None:
+            return None
+        return table.get(peer)
+
+    def state_size(self) -> int:
+        """Number of RTT entries held (the paper's Fig 8 'state' metric)."""
+        return len(self._estimates) + sum(
+            len(t) for t in self._zcr_peer_rtts.values()
+        )

@@ -1,0 +1,334 @@
+"""Scoped session management (§5) and indirect RTT estimation (§5.1).
+
+Each member exchanges session messages only within its *smallest* zone; a
+Zone Closest Receiver additionally participates in its parent zone.  Every
+member overhears ancestor-zone session channels but records only the
+announcements of its own chain's ZCRs.  The result is the paper's reduced
+state table: full detail nearby, one summarized representative per obscured
+region.
+
+Indirect estimation: a packet (e.g. a NACK) carries the sender's RTT to each
+of its ancestral ZCRs; a hearer finds the largest-scope zone where one of
+those ZCRs matches (or bridges to) one of its own, and sums the pieces —
+``rtt(me → myZCR) + rtt(myZCR → theirZCR) + rtt(theirZCR → sender)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import SharqfecConfig
+from repro.core.pdus import RttChainEntry, SessionEntry, SessionPdu
+from repro.core.rtt import RttTable
+from repro.net.network import Network
+from repro.scoping.channels import ScopedChannels
+from repro.scoping.zone import Zone
+from repro.sim.scheduler import Simulator
+from repro.sim.timers import Timer
+
+
+class SessionManager:
+    """Per-node session state: RTT tables, ZCR knowledge, session timers."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Network,
+        channels: ScopedChannels,
+        config: SharqfecConfig,
+        top_zcr: Optional[int] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.channels = channels
+        self.config = config
+        self.chain: List[Zone] = channels.hierarchy.chain_for(node_id)
+        self._zone_index: Dict[int, int] = {
+            zone.zone_id: i for i, zone in enumerate(self.chain)
+        }
+        self.rtt = RttTable(node_id, config.rtt_ewma_keep)
+        # zone_id -> believed ZCR (None when unknown).  The root zone's ZCR
+        # is statically the source ("top ZCR", §6.1).
+        self.zcr_ids: Dict[int, Optional[int]] = {
+            zone.zone_id: None for zone in self.chain
+        }
+        if top_zcr is not None:
+            self.zcr_ids[self.chain[-1].zone_id] = top_zcr
+        # zone_id -> RTT between that zone's ZCR and its parent zone's ZCR.
+        self.zcr_parent_rtt: Dict[int, float] = {}
+        # zone_id -> election epoch of the believed ZCR (monotone; a
+        # takeover after a failure bumps it so stale gossip cannot
+        # resurrect a dead representative).
+        self.zcr_epoch: Dict[int, int] = {}
+        self._timer = Timer(sim, self._on_session_timer, name=f"session@{node_id}")
+        self._messages_sent = 0
+        self._rng = sim.rng.stream(f"session.{node_id}")
+        self.messages_received = 0
+        # Invoked with a zone_id whenever gossip changes our ZCR belief for
+        # that zone; the election machinery uses it to keep its timers and
+        # distance measurements consistent.
+        self.on_zcr_change = None  # type: ignore[assignment]
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Begin the staggered session-message schedule."""
+        self._timer.restart(self._next_interval())
+
+    def stop(self) -> None:
+        """Halt session messaging."""
+        self._timer.cancel()
+
+    def _next_interval(self) -> float:
+        if self._messages_sent < self.config.session_fast_count:
+            lo, hi = self.config.session_fast_interval
+        else:
+            lo, hi = self.config.session_interval
+        return self._rng.uniform(lo, hi)
+
+    def _on_session_timer(self) -> None:
+        # Departed members age out of our echo lists (§5's entries carry
+        # "time elapsed since the last session message" for this purpose).
+        self.rtt.prune_stale(self.sim.now, self.config.session_peer_timeout)
+        for zone in self.participation_zones():
+            self._send_session_message(zone)
+        self._messages_sent += 1
+        self._timer.restart(self._next_interval())
+
+    # ----------------------------------------------------------- participation
+
+    def participation_zones(self) -> List[Zone]:
+        """Zones in which this node exchanges (not just overhears) session
+        traffic: its smallest zone, plus — for every zone it is the ZCR of —
+        that zone itself and its parent ("the ZCR participates in RTT
+        determination for that scope zone, and also the next-largest", §5)."""
+        zones = [self.chain[0]]
+        for i, zone in enumerate(self.chain[:-1]):
+            if self.zcr_ids.get(zone.zone_id) == self.node_id:
+                if zone not in zones:
+                    zones.append(zone)
+                parent = self.chain[i + 1]
+                if parent not in zones:
+                    zones.append(parent)
+        return zones
+
+    def is_zcr(self, zone_id: int) -> bool:
+        """True if this node believes itself the ZCR of ``zone_id``."""
+        return self.zcr_ids.get(zone_id) == self.node_id
+
+    def zone_level_index(self, zone_id: int) -> Optional[int]:
+        """Chain index of a zone (0 = smallest), or None if not ours."""
+        return self._zone_index.get(zone_id)
+
+    # ----------------------------------------------------------------- sending
+
+    def _send_session_message(self, zone: Zone) -> None:
+        now = self.sim.now
+        heard = self.rtt.heard_in_zone(zone.zone_id)
+        entries = tuple(
+            SessionEntry(
+                peer_id=peer,
+                peer_timestamp=ts,
+                elapsed=now - recv_at,
+                rtt_estimate=self.rtt.get(peer) if self.rtt.get(peer) is not None else -1.0,
+            )
+            for peer, (ts, recv_at) in sorted(heard.items())
+        )
+        zcr = self.zcr_ids.get(zone.zone_id)
+        pdu = SessionPdu(
+            src=self.node_id,
+            group=self.channels.session_group(zone.zone_id),
+            size_bytes=self.config.session_header_size
+            + len(entries) * self.config.session_entry_size,
+            zone_id=zone.zone_id,
+            timestamp=now,
+            zcr_id=zcr if zcr is not None else -1,
+            zcr_parent_rtt=self._advertised_parent_rtt(zone),
+            entries=entries,
+            zcr_epoch=self.zcr_epoch.get(zone.zone_id, 0),
+        )
+        self.network.multicast(self.node_id, pdu)
+
+    def _advertised_parent_rtt(self, zone: Zone) -> float:
+        """RTT between ``zone``'s ZCR and the parent zone's ZCR, if known."""
+        index = self._zone_index.get(zone.zone_id)
+        if index is None or index >= len(self.chain) - 1:
+            return -1.0  # root zone has no parent
+        if self.is_zcr(zone.zone_id):
+            parent_zcr = self.zcr_ids.get(self.chain[index + 1].zone_id)
+            if parent_zcr is not None:
+                direct = self.rtt.get(parent_zcr)
+                if direct is not None:
+                    return direct
+        stored = self.zcr_parent_rtt.get(zone.zone_id)
+        return stored if stored is not None else -1.0
+
+    # ---------------------------------------------------------------- receiving
+
+    def handle_session(self, pdu: SessionPdu) -> None:
+        """Process a session message heard on any subscribed zone channel."""
+        if pdu.src == self.node_id:
+            return
+        now = self.sim.now
+        self.messages_received += 1
+        zone_id = pdu.zone_id
+        participating = any(z.zone_id == zone_id for z in self.participation_zones())
+        if participating:
+            self.rtt.record_heard(zone_id, pdu.src, pdu.timestamp, now)
+            for entry in pdu.entries:
+                if entry.peer_id == self.node_id:
+                    self.rtt.close_echo(pdu.src, entry.peer_timestamp, entry.elapsed, now)
+        # Overhear our chain ZCRs' parent-zone announcements: that is the
+        # only distant state the paper's receivers retain (§5.1, Fig 5).
+        for i, zone in enumerate(self.chain[:-1]):
+            if (
+                self.zcr_ids.get(zone.zone_id) == pdu.src
+                and self.chain[i + 1].zone_id == zone_id
+            ):
+                for entry in pdu.entries:
+                    if entry.rtt_estimate >= 0:
+                        self.rtt.set_zcr_peer_rtt(pdu.src, entry.peer_id, entry.rtt_estimate)
+                break
+        # Zone metadata carried by any message on one of our chain zones.
+        # The advertised parent distance belongs to the *advertised* ZCR, so
+        # only fold it in when the beliefs agree — and adopt the peer's
+        # belief when it names a strictly closer representative (this is how
+        # divergent bootstrap views reconcile between challenge rounds).
+        if zone_id in self._zone_index and pdu.zcr_id >= 0:
+            believed = self.zcr_ids.get(zone_id)
+            before = (believed, self.zcr_parent_rtt.get(zone_id))
+            our_epoch = self.zcr_epoch.get(zone_id, 0)
+            if believed is None or pdu.zcr_epoch > our_epoch:
+                # Unknown, or the peer has seen a newer election round.
+                self.zcr_ids[zone_id] = pdu.zcr_id
+                self.zcr_epoch[zone_id] = pdu.zcr_epoch
+                if pdu.zcr_parent_rtt >= 0:
+                    self.zcr_parent_rtt[zone_id] = pdu.zcr_parent_rtt
+            elif pdu.zcr_epoch == our_epoch:
+                if pdu.zcr_id == believed:
+                    if pdu.zcr_parent_rtt >= 0:
+                        self.zcr_parent_rtt[zone_id] = pdu.zcr_parent_rtt
+                elif pdu.zcr_parent_rtt >= 0:
+                    # Same round, different winner beliefs: closer wins,
+                    # node id breaks exact ties.
+                    ours = self.zcr_parent_rtt.get(zone_id)
+                    if ours is None or pdu.zcr_parent_rtt < ours - 1e-9 or (
+                        abs(pdu.zcr_parent_rtt - ours) <= 1e-9 and pdu.zcr_id < believed
+                    ):
+                        self.zcr_ids[zone_id] = pdu.zcr_id
+                        self.zcr_parent_rtt[zone_id] = pdu.zcr_parent_rtt
+            after = (self.zcr_ids.get(zone_id), self.zcr_parent_rtt.get(zone_id))
+            if after != before and self.on_zcr_change is not None:
+                self.on_zcr_change(zone_id)
+
+    # ------------------------------------------------------- distance queries
+
+    def rtt_to_zcr(self, level_index: int) -> Optional[float]:
+        """RTT estimate to our ancestral ZCR at chain ``level_index``.
+
+        Composed by "adding the observed RTTs between successive
+        generations" (§5): me → my smallest-zone ZCR, then ZCR-to-ZCR hops
+        upward via the advertised parent distances.
+        """
+        if not 0 <= level_index < len(self.chain):
+            return None
+        zcr = self.zcr_ids.get(self.chain[level_index].zone_id)
+        if zcr is None:
+            return None
+        if zcr == self.node_id:
+            return 0.0
+        if level_index == 0:
+            return self.rtt.get(zcr)
+        below = self.rtt_to_zcr(level_index - 1)
+        if below == 0.0:
+            # We are the child-level ZCR: we measure the parent ZCR directly.
+            direct = self.rtt.get(zcr)
+            if direct is not None:
+                return direct
+        step = self.zcr_parent_rtt.get(self.chain[level_index - 1].zone_id)
+        if below is None or step is None:
+            return self.rtt.get(zcr)  # last-resort direct estimate
+        return below + step
+
+    def build_rtt_chain(self) -> Tuple[RttChainEntry, ...]:
+        """The ancestor-ZCR distance list a NACK carries (§5.1)."""
+        entries = []
+        for i, zone in enumerate(self.chain):
+            zcr = self.zcr_ids.get(zone.zone_id)
+            if zcr is None:
+                continue
+            rtt = self.rtt_to_zcr(i)
+            if rtt is None:
+                continue
+            entries.append(RttChainEntry(zone.zone_id, zcr, rtt))
+        return tuple(entries)
+
+    def estimate_rtt_to(
+        self,
+        sender: int,
+        rtt_chain: Sequence[RttChainEntry] = (),
+    ) -> Optional[float]:
+        """Estimate the RTT to an arbitrary sender.
+
+        Prefers a direct table entry; otherwise matches the sender's
+        advertised ancestor-ZCR chain against our own, smallest scope first,
+        and sums the three legs (§5.1's receiver-13-to-receiver-8 example).
+        """
+        if sender == self.node_id:
+            return 0.0
+        direct = self.rtt.get(sender)
+        if direct is not None:
+            return direct
+        for i in range(len(self.chain)):
+            my_zcr = self.zcr_ids.get(self.chain[i].zone_id)
+            if my_zcr is None:
+                continue
+            my_rtt = self.rtt_to_zcr(i)
+            if my_rtt is None:
+                continue
+            for entry in rtt_chain:
+                if entry.rtt_to_sender < 0:
+                    continue
+                if entry.zcr_id == my_zcr:
+                    return my_rtt + entry.rtt_to_sender
+                bridge = self.rtt.zcr_peer_rtt(my_zcr, entry.zcr_id)
+                if bridge is None:
+                    # The sibling ZCR may itself be directly known (it is a
+                    # member of our shared parent zone when we are the ZCR).
+                    if my_zcr == self.node_id:
+                        bridge = self.rtt.get(entry.zcr_id)
+                if bridge is not None:
+                    return my_rtt + bridge + entry.rtt_to_sender
+        return None
+
+    def source_one_way(self, source_id: int) -> float:
+        """One-way transit estimate to the source (``d_S,A`` in the timers).
+
+        Falls back to the configured default before session state converges.
+        """
+        rtt = self.rtt.get(source_id)
+        if rtt is None and self.zcr_ids.get(self.chain[-1].zone_id) == source_id:
+            rtt = self.rtt_to_zcr(len(self.chain) - 1)
+        if rtt is None:
+            return self.config.default_distance
+        return rtt / 2.0
+
+    def peer_one_way(
+        self,
+        peer: int,
+        rtt_chain: Sequence[RttChainEntry] = (),
+    ) -> float:
+        """One-way transit estimate to a peer (``d_A,B``), with fallback."""
+        rtt = self.estimate_rtt_to(peer, rtt_chain)
+        if rtt is None:
+            return self.config.default_distance
+        return rtt / 2.0
+
+    def max_zone_rtt(self, zone_id: int) -> float:
+        """Largest known RTT to a peer — the ZCR's 2.5×RTT wait bound (§4)."""
+        peers = self.rtt.known_peers()
+        if not peers:
+            return 2.0 * self.config.default_distance
+        return max(peers.values())

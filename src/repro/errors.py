@@ -1,0 +1,35 @@
+"""Shared exception hierarchy.
+
+Every subpackage raises subclasses of :class:`ReproError` so callers can
+catch library failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """Invalid protocol or experiment configuration."""
+
+
+class TopologyError(ReproError):
+    """Malformed network topology (unknown node, duplicate link, ...)."""
+
+
+class RoutingError(ReproError):
+    """No route / unreachable destination."""
+
+
+class ScopeError(ReproError):
+    """Invalid zone hierarchy or scoped-channel operation."""
+
+
+class CodecError(ReproError):
+    """FEC encode/decode failure (not enough packets, bad indices, ...)."""
+
+
+class ProtocolError(ReproError):
+    """A protocol agent received a PDU that violates its state machine."""

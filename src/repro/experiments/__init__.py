@@ -1,0 +1,25 @@
+"""Per-figure experiment drivers and the command-line interface.
+
+Each figure/table of the paper's evaluation has a driver here:
+
+* Figures 1 and 8 — analytic (``repro.analysis``),
+* Figures 11–13 — session-management runs (:mod:`repro.experiments.session_sim`),
+* Figures 14–21 — data/repair traffic runs (:mod:`repro.experiments.traffic_sim`).
+
+``python -m repro.experiments <figure>`` (or the ``sharqfec`` console
+script) regenerates any of them from the command line.
+"""
+
+from repro.experiments.common import TrafficRunResult, run_traffic, variant_config
+from repro.experiments.session_sim import RttAccuracy, run_rtt_experiment
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "RttAccuracy",
+    "TrafficRunResult",
+    "run_experiment",
+    "run_rtt_experiment",
+    "run_traffic",
+    "variant_config",
+]

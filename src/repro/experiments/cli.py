@@ -1,0 +1,79 @@
+"""Command-line interface: regenerate any paper figure/table.
+
+Usage::
+
+    sharqfec list
+    sharqfec fig14 --packets 256 --seed 3
+    sharqfec all --packets 128
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sharqfec",
+        description="Reproduce the SHARQFEC (SIGCOMM '98) evaluation figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="figure id (fig1, fig8, fig11..fig21), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--packets",
+        type=int,
+        default=None,
+        help="CBR packets per traffic run (default: 1024, the paper's value; "
+        "set lower for quick runs)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="master RNG seed")
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each traffic figure's series as <DIR>/<fig>.csv",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for figure_id, experiment in EXPERIMENTS.items():
+            print(f"{figure_id:7s} {experiment.description}")
+        return 0
+    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for figure_id in targets:
+        print(run_experiment(figure_id, n_packets=args.packets, seed=args.seed))
+        print()
+        if args.csv is not None:
+            _maybe_write_csv(figure_id, args)
+    return 0
+
+
+def _maybe_write_csv(figure_id: str, args) -> None:
+    """Write a traffic figure's series to <dir>/<fig>.csv (no-op for the
+    analytic and session experiments, which have no time series)."""
+    import os
+
+    from repro.experiments import traffic_sim
+
+    builder = getattr(traffic_sim, figure_id, None)
+    if builder is None:
+        return
+    figure = builder(n_packets=args.packets, seed=args.seed)
+    os.makedirs(args.csv, exist_ok=True)
+    path = os.path.join(args.csv, f"{figure_id}.csv")
+    with open(path, "w") as handle:
+        handle.write(figure.to_csv())
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

@@ -1,0 +1,206 @@
+"""Shared run harness for the §6.2 data/repair traffic experiments.
+
+Every traffic figure uses the same shape (§6.2): the Figure 10 topology,
+sessions joining at t = 1 s, a CBR source of 1000-byte packets at
+800 kbit/s starting at t = 6 s, groups of 16, and per-receiver traffic
+binned over 0.1 s intervals.  ``run_traffic`` executes one protocol variant
+under that shape and returns the binned series.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import SharqfecConfig
+from repro.core.protocol import SharqfecProtocol
+from repro.errors import ConfigError
+from repro.net.monitor import TrafficMonitor
+from repro.sim.scheduler import Simulator
+from repro.srm.config import SrmConfig
+from repro.srm.protocol import SrmProtocol
+from repro.topology.figure10 import Figure10, build_figure10
+
+#: Paper-style variant names accepted by :func:`run_traffic`.
+VARIANTS = (
+    "SRM",
+    "SHARQFEC",
+    "SHARQFEC(ns)",
+    "SHARQFEC(ni)",
+    "SHARQFEC(ns,ni)",
+    "SHARQFEC(ns,ni,so)",
+)
+
+#: Traffic-monitor kinds that make up "data and repair traffic".
+DATA_REPAIR_KINDS = ("DATA", "FEC", "REPAIR")
+
+SESSION_START = 1.0
+DATA_START = 6.0
+
+
+def default_packets() -> int:
+    """Packets per run: the paper's 1024, or ``SHARQFEC_PACKETS`` from the
+    environment (benchmarks default to a faster 128)."""
+    return int(os.environ.get("SHARQFEC_PACKETS", "1024"))
+
+
+def variant_config(name: str, n_packets: int) -> SharqfecConfig:
+    """Build the :class:`SharqfecConfig` for a paper-style variant name."""
+    if name == "SHARQFEC":
+        return SharqfecConfig(n_packets=n_packets)
+    if not (name.startswith("SHARQFEC(") and name.endswith(")")):
+        raise ConfigError(f"unknown variant {name!r}; expected one of {VARIANTS}")
+    flags = {f.strip() for f in name[len("SHARQFEC(") : -1].split(",") if f.strip()}
+    unknown = flags - {"ns", "ni", "so"}
+    if unknown:
+        raise ConfigError(f"unknown variant flags {sorted(unknown)} in {name!r}")
+    return SharqfecConfig(
+        n_packets=n_packets,
+        scoping="ns" not in flags,
+        injection="ni" not in flags,
+        sender_only="so" in flags,
+    )
+
+
+@dataclass
+class TrafficRunResult:
+    """Everything a figure needs from one protocol run."""
+
+    protocol: str
+    monitor: TrafficMonitor
+    topology: Figure10
+    data_start: float
+    data_end: float
+    run_end: float
+    completion: float
+    nacks_sent: int
+    events: int
+    wall_seconds: float
+    seed: int
+
+    @property
+    def receivers(self) -> List[int]:
+        return self.topology.receivers
+
+    @property
+    def source(self) -> int:
+        return self.topology.source
+
+    def data_repair_series(self) -> List[float]:
+        """Mean data+repair packets per 0.1 s interval over all receivers —
+        the y-axis of Figures 14, 16, 17, 18."""
+        return self.monitor.mean_series(
+            DATA_REPAIR_KINDS, self.receivers, t_end=self.run_end
+        )
+
+    def nack_series(self) -> List[float]:
+        """Mean NACKs per interval over all receivers (Figures 15, 19)."""
+        return self.monitor.mean_series(["NACK"], self.receivers, t_end=self.run_end)
+
+    def source_data_repair_series(self) -> List[float]:
+        """Data+repair packets per interval seen at the source (Figure 20).
+
+        "Seen by the source" covers both directions: what the source itself
+        transmits into the core plus what it receives back — sender-only
+        protocols put all repair load in the first term, scoped SHARQFEC in
+        neither (repairs stay inside the zones).
+        """
+        return [
+            float(v)
+            for v in self.monitor.node_traffic_series(
+                DATA_REPAIR_KINDS, self.source, t_end=self.run_end
+            )
+        ]
+
+    def source_nack_series(self) -> List[float]:
+        """NACKs per interval seen at the source (Figure 21)."""
+        return [
+            float(v)
+            for v in self.monitor.series(["NACK"], self.source, t_end=self.run_end)
+        ]
+
+    def source_repair_only_series(self) -> List[float]:
+        """Repair packets per interval crossing the source (no data CBR)."""
+        series = self.monitor.node_traffic_series(
+            ["FEC", "REPAIR"], self.source, t_end=self.run_end
+        )
+        return [float(v) for v in series]
+
+    def data_end_index(self) -> int:
+        """Bin index of the stream's final data packet."""
+        return int(self.data_end / self.monitor.bin_width)
+
+
+def run_traffic(
+    protocol: str,
+    n_packets: Optional[int] = None,
+    seed: int = 1,
+    drain: float = 10.0,
+) -> TrafficRunResult:
+    """Run one protocol variant on the Figure 10 topology.
+
+    Args:
+        protocol: a name from :data:`VARIANTS`.
+        n_packets: CBR stream length (defaults to :func:`default_packets`).
+        seed: master RNG seed (identical seeds share loss patterns as far
+            as transmission orders allow).
+        drain: extra simulated seconds after the stream ends, letting the
+            repair tail play out.
+    """
+    packets = n_packets if n_packets is not None else default_packets()
+    wall_start = time.time()
+    sim = Simulator(seed=seed)
+    topo = build_figure10(sim)
+    monitor = TrafficMonitor(bin_width=0.1)
+    topo.network.add_observer(monitor)
+    data_start = DATA_START
+    if protocol == "SRM":
+        srm_config = SrmConfig(n_packets=packets)
+        srm = SrmProtocol(topo.network, srm_config, topo.source, topo.receivers)
+        srm.start(SESSION_START, data_start)
+        data_end = data_start + packets * srm_config.inter_packet_interval
+        run_end = data_end + drain
+        sim.run(until=run_end)
+        srm.stop()
+        completion = srm.completion_fraction()
+        nacks = srm.total_nacks_sent()
+    else:
+        config = variant_config(protocol, packets)
+        proto = SharqfecProtocol(
+            topo.network, config, topo.source, topo.receivers, topo.hierarchy
+        )
+        proto.start(SESSION_START, data_start)
+        data_end = proto.data_end_time(data_start)
+        run_end = data_end + drain
+        sim.run(until=run_end)
+        proto.stop()
+        completion = proto.completion_fraction()
+        nacks = proto.total_nacks_sent()
+    return TrafficRunResult(
+        protocol=protocol,
+        monitor=monitor,
+        topology=topo,
+        data_start=data_start,
+        data_end=data_end,
+        run_end=run_end,
+        completion=completion,
+        nacks_sent=nacks,
+        events=sim.events_fired,
+        wall_seconds=time.time() - wall_start,
+        seed=seed,
+    )
+
+
+def run_variants(
+    protocols: List[str],
+    n_packets: Optional[int] = None,
+    seed: int = 1,
+    drain: float = 10.0,
+) -> Dict[str, TrafficRunResult]:
+    """Run several variants with the same parameters (one per figure curve)."""
+    return {
+        name: run_traffic(name, n_packets=n_packets, seed=seed, drain=drain)
+        for name in protocols
+    }

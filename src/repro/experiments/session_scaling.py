@@ -1,0 +1,143 @@
+"""Empirical session-traffic scaling: the paper's O(n²) → O(Σ n_α²) claim.
+
+§5 argues that flat SRM-style sessions need O(n²) total session traffic
+(every member lists every other member every interval), while SHARQFEC's
+scoped sessions need only the per-zone sums — "several orders of magnitude"
+less for large sessions.  Figure 8 computes this analytically for 10M
+receivers; this experiment *measures* it on growing balanced trees.
+
+For each tree size we run session management only (no data) for a fixed
+interval under both protocols and count session bytes received per member.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.config import SharqfecConfig
+from repro.core.protocol import SharqfecProtocol
+from repro.net.monitor import TrafficMonitor
+from repro.scoping.zone import ZoneHierarchy
+from repro.sim.scheduler import Simulator
+from repro.srm.config import SrmConfig
+from repro.srm.protocol import SrmProtocol
+from repro.topology.builders import build_tree
+
+
+@dataclass
+class ScalingPoint:
+    """Session-traffic measurement for one session size."""
+
+    n_members: int
+    protocol: str
+    session_bytes_per_member: float
+    session_packets_per_member: float
+    max_rtt_state: int
+
+
+def _tree_hierarchy(levels: List[List[int]]) -> ZoneHierarchy:
+    """Zones per subtree of the root's children (plus one level deeper)."""
+    hierarchy = ZoneHierarchy()
+    all_nodes = {n for level in levels for n in level}
+    root = hierarchy.add_root(all_nodes, name="Z0")
+    fanout = len(levels[1])
+    # Level-1 zones: each child of the root and its whole subtree.
+    subtree: dict = {child: {child} for child in levels[1]}
+    # Walk deeper levels assigning nodes to their level-1 ancestor by
+    # construction order (build_tree creates children contiguously).
+    for depth in range(2, len(levels)):
+        per_parent = len(levels[depth]) // len(levels[depth - 1])
+        for i, node in enumerate(levels[depth]):
+            parent = levels[depth - 1][i // per_parent]
+            for top, members in subtree.items():
+                if parent in members:
+                    members.add(node)
+                    break
+    zone_ids = {}
+    for child, members in subtree.items():
+        zone = hierarchy.add_zone(root.zone_id, members, name=f"T{child}")
+        zone_ids[child] = zone.zone_id
+    # One more level when the tree is deep enough: grandchild subtrees.
+    if len(levels) >= 4:
+        per_child = len(levels[2]) // len(levels[1])
+        per_grand = len(levels[3]) // len(levels[2])
+        for gi, grand in enumerate(levels[2]):
+            top = levels[1][gi // per_child]
+            members = {grand}
+            start = gi * per_grand
+            members.update(levels[3][start : start + per_grand])
+            hierarchy.add_zone(zone_ids[top], members, name=f"G{grand}")
+    return hierarchy
+
+
+def measure_point(
+    depth: int,
+    fanout: int,
+    protocol: str,
+    duration: float = 10.0,
+    seed: int = 1,
+) -> ScalingPoint:
+    """Run session-only traffic on one balanced tree and measure it."""
+    sim = Simulator(seed=seed)
+    net, levels = build_tree(sim, depth=depth, fanout=fanout)
+    receivers = [n for level in levels[1:] for n in level]
+    monitor = TrafficMonitor(bin_width=1.0)
+    net.add_observer(monitor)
+    if protocol == "SRM":
+        proto = SrmProtocol(net, SrmConfig(n_packets=16), 0, receivers)
+        proto.start(session_start=1.0, data_start=duration + 100.0)
+        sim.run(until=1.0 + duration)
+        proto.stop()
+        max_state = max(r.rtt.state_size() for r in proto.receivers.values())
+    else:
+        hierarchy = _tree_hierarchy(levels)
+        config = SharqfecConfig(n_packets=16)
+        sharq = SharqfecProtocol(net, config, 0, receivers, hierarchy)
+        sim.at(1.0, sharq._start_sessions)
+        sim.run(until=1.0 + duration)
+        sharq.stop()
+        max_state = max(r.session.rtt.state_size() for r in sharq.receivers.values())
+    members = len(receivers) + 1
+    session_kinds = ["SESSION", "ZCR_CHAL", "ZCR_RESP", "ZCR_TAKE"]
+    return ScalingPoint(
+        n_members=members,
+        protocol=protocol,
+        session_bytes_per_member=monitor.total_bytes(session_kinds) / members,
+        session_packets_per_member=monitor.total(session_kinds) / members,
+        max_rtt_state=max_state,
+    )
+
+
+def scaling_sweep(
+    shapes: List[Tuple[int, int]] = ((2, 3), (3, 3), (3, 4)),
+    duration: float = 10.0,
+    seed: int = 1,
+) -> List[ScalingPoint]:
+    """Measure both protocols across tree shapes (depth, fanout) pairs."""
+    points: List[ScalingPoint] = []
+    for depth, fanout in shapes:
+        for protocol in ("SRM", "SHARQFEC"):
+            points.append(measure_point(depth, fanout, protocol, duration, seed))
+    return points
+
+
+def growth_exponent(points: List[ScalingPoint]) -> float:
+    """Least-squares slope of log(bytes/member) vs log(members).
+
+    Flat sessions grow linearly per member (total O(n²) → ~1.0); scoped
+    sessions should grow far slower.
+    """
+    import math
+
+    xs = [math.log(p.n_members) for p in points]
+    ys = [math.log(max(p.session_bytes_per_member, 1e-9)) for p in points]
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denom = sum((x - mean_x) ** 2 for x in xs)
+    if denom == 0:
+        return 0.0
+    return sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / denom

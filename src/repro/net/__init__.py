@@ -1,0 +1,30 @@
+"""Network model: nodes, links, routing and multicast forwarding.
+
+This subpackage is the ``ns``-equivalent substrate the SHARQFEC paper ran on:
+duplex links with bandwidth / propagation delay / Bernoulli loss, Dijkstra
+shortest-path routing, and source-rooted multicast trees with hop-by-hop
+forwarding (so a single upstream loss deprives the whole subtree, matching
+the paper's loss-correlation-by-tree behaviour).
+"""
+
+from repro.net.link import Link
+from repro.net.monitor import PacketEvent, TrafficMonitor
+from repro.net.multicast import MulticastGroup
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.net.packet import Packet, UnicastPacket
+from repro.net.routing import RoutingTable, shortest_path_tree, shortest_paths
+
+__all__ = [
+    "Link",
+    "MulticastGroup",
+    "Network",
+    "Node",
+    "Packet",
+    "UnicastPacket",
+    "PacketEvent",
+    "RoutingTable",
+    "TrafficMonitor",
+    "shortest_path_tree",
+    "shortest_paths",
+]

@@ -1,0 +1,194 @@
+"""Traffic monitoring.
+
+The paper's §6.2 measures "the sum of data and repair traffic visible at
+each session member over 0.1 second intervals".  :class:`TrafficMonitor`
+bins packet arrivals online per (kind, node) so an entire run aggregates to
+a few small dicts instead of a packet-level log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+
+class PacketEvent(NamedTuple):
+    """One observed packet occurrence (used by the observer API)."""
+
+    time: float
+    node: int
+    kind: str
+    size_bytes: int
+    subscriber: bool
+
+
+class TrafficMonitor:
+    """Online per-interval packet counter.
+
+    Attributes:
+        bin_width: width of an aggregation interval in seconds (the paper
+            uses 0.1 s).
+        count_forwarding: if False (default) only arrivals at group
+            subscribers are counted — that is what "traffic visible at each
+            session member" means; routers merely forwarding are excluded.
+    """
+
+    def __init__(self, bin_width: float = 0.1, count_forwarding: bool = False) -> None:
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self.bin_width = float(bin_width)
+        self.count_forwarding = count_forwarding
+        # (kind, node) -> {bin_index: packet_count}
+        self._bins: Dict[Tuple[str, int], Dict[int, int]] = {}
+        # (kind, node) -> {bin_index: packets sent by that node}
+        self._send_bins: Dict[Tuple[str, int], Dict[int, int]] = {}
+        # (kind, node) -> total packets / bytes
+        self._totals: Dict[Tuple[str, int], int] = {}
+        self._total_bytes: Dict[Tuple[str, int], int] = {}
+        self.sends: Dict[str, int] = {}
+        self.drops: int = 0
+
+    # ----------------------------------------------------------- observer API
+
+    def on_send(self, event: PacketEvent) -> None:
+        """Record a packet's first transmission by its originator."""
+        self.sends[event.kind] = self.sends.get(event.kind, 0) + 1
+        key = (event.kind, event.node)
+        index = int(event.time / self.bin_width)
+        bins = self._send_bins.setdefault(key, {})
+        bins[index] = bins.get(index, 0) + 1
+
+    def on_receive(self, event: PacketEvent) -> None:
+        """Record a packet arrival at a node."""
+        if not event.subscriber and not self.count_forwarding:
+            return
+        key = (event.kind, event.node)
+        index = int(event.time / self.bin_width)
+        bins = self._bins.get(key)
+        if bins is None:
+            bins = {}
+            self._bins[key] = bins
+        bins[index] = bins.get(index, 0) + 1
+        self._totals[key] = self._totals.get(key, 0) + 1
+        self._total_bytes[key] = self._total_bytes.get(key, 0) + event.size_bytes
+
+    def on_drop(self, event: PacketEvent) -> None:
+        """Record a packet lost on a link."""
+        self.drops += 1
+
+    # -------------------------------------------------------------- accessors
+
+    def nodes_seen(self) -> List[int]:
+        """All node ids with at least one counted arrival."""
+        return sorted({node for (_, node) in self._bins})
+
+    def total(self, kinds: Iterable[str], node: Optional[int] = None) -> int:
+        """Total packets of the given kinds (at one node, or at all nodes)."""
+        kinds = set(kinds)
+        total = 0
+        for (kind, n), count in self._totals.items():
+            if kind in kinds and (node is None or n == node):
+                total += count
+        return total
+
+    def total_bytes(self, kinds: Iterable[str], node: Optional[int] = None) -> int:
+        """Total bytes of the given kinds (at one node, or at all nodes)."""
+        kinds = set(kinds)
+        total = 0
+        for (kind, n), count in self._total_bytes.items():
+            if kind in kinds and (node is None or n == node):
+                total += count
+        return total
+
+    def series(
+        self,
+        kinds: Iterable[str],
+        node: int,
+        t_end: Optional[float] = None,
+    ) -> List[int]:
+        """Packets-per-interval time series for one node.
+
+        The series starts at t=0 and is padded with zeros through ``t_end``
+        (or through the last nonzero bin if ``t_end`` is None).
+        """
+        kinds = set(kinds)
+        merged: Dict[int, int] = {}
+        for (kind, n), bins in self._bins.items():
+            if n != node or kind not in kinds:
+                continue
+            for index, count in bins.items():
+                merged[index] = merged.get(index, 0) + count
+        if not merged and t_end is None:
+            return []
+        last = max(merged) if merged else 0
+        if t_end is not None:
+            last = max(last, int(math.ceil(t_end / self.bin_width)) - 1)
+        return [merged.get(i, 0) for i in range(last + 1)]
+
+    def mean_series(
+        self,
+        kinds: Iterable[str],
+        nodes: Sequence[int],
+        t_end: Optional[float] = None,
+    ) -> List[float]:
+        """Per-interval series averaged over ``nodes``.
+
+        This is the quantity plotted in the paper's Figures 14–19: the mean
+        over receivers of packets seen per 0.1 s interval.
+        """
+        if not nodes:
+            return []
+        per_node = [self.series(kinds, node, t_end) for node in nodes]
+        length = max((len(s) for s in per_node), default=0)
+        result = []
+        n = float(len(nodes))
+        for i in range(length):
+            total = sum(s[i] for s in per_node if i < len(s))
+            result.append(total / n)
+        return result
+
+    def send_series(
+        self,
+        kinds: Iterable[str],
+        node: int,
+        t_end: Optional[float] = None,
+    ) -> List[int]:
+        """Packets-per-interval *sent by* one node.
+
+        The paper's Figures 20/21 plot "traffic seen by the source", which
+        for a sender-only protocol is dominated by what the source itself
+        transmits; combine with :meth:`series` for the full picture.
+        """
+        kinds = set(kinds)
+        merged: Dict[int, int] = {}
+        for (kind, n), bins in self._send_bins.items():
+            if n != node or kind not in kinds:
+                continue
+            for index, count in bins.items():
+                merged[index] = merged.get(index, 0) + count
+        if not merged and t_end is None:
+            return []
+        last = max(merged) if merged else 0
+        if t_end is not None:
+            last = max(last, int(math.ceil(t_end / self.bin_width)) - 1)
+        return [merged.get(i, 0) for i in range(last + 1)]
+
+    def node_traffic_series(
+        self,
+        kinds: Iterable[str],
+        node: int,
+        t_end: Optional[float] = None,
+    ) -> List[int]:
+        """Per-interval packets sent by plus received at one node."""
+        received = self.series(kinds, node, t_end)
+        sent = self.send_series(kinds, node, t_end)
+        length = max(len(received), len(sent))
+        return [
+            (received[i] if i < len(received) else 0)
+            + (sent[i] if i < len(sent) else 0)
+            for i in range(length)
+        ]
+
+    def bin_times(self, length: int) -> List[float]:
+        """Midpoint times for the first ``length`` bins (for table output)."""
+        return [(i + 0.5) * self.bin_width for i in range(length)]

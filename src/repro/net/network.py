@@ -1,0 +1,328 @@
+"""The Network: topology container + packet forwarding engine.
+
+Multicast delivery is hop-by-hop along a cached source-rooted shortest-path
+tree restricted to the group's scope.  Per-link Bernoulli loss is drawn as a
+packet crosses each link, so one upstream loss deprives the entire subtree —
+the loss-correlation structure the paper's analysis in §3.1 relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import RoutingError, ScopeError, TopologyError
+from repro.net.link import Link
+from repro.net.monitor import PacketEvent
+from repro.net.multicast import MulticastGroup
+from repro.net.node import DeliveryHandler, Node
+from repro.net.packet import Packet, UnicastPacket
+from repro.net.routing import RoutingTable, shortest_path_tree
+from repro.sim.scheduler import Simulator
+
+
+class Network:
+    """Nodes + links + multicast groups over a :class:`Simulator`."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.nodes: Dict[int, Node] = {}
+        self._links: Dict[Tuple[int, int], Link] = {}
+        self._adjacency: Dict[int, Dict[int, float]] = {}
+        self.groups: Dict[int, MulticastGroup] = {}
+        self._next_group_id = 1
+        self._tree_cache: Dict[Tuple[int, int], Tuple[int, Dict[int, List[int]]]] = {}
+        self._routing_cache: Dict[int, RoutingTable] = {}
+        self._topology_version = 0
+        self._observers: List[object] = []
+        self._loss_rng = sim.rng.stream("net.loss")
+        # Optional deterministic loss oracle: callable(link, packet) -> bool
+        # (True = drop).  When set it replaces the Bernoulli draws entirely;
+        # conformance tests use it to script exact loss patterns.
+        self.loss_oracle: Optional[Callable[[Link, Packet], bool]] = None
+
+    def _drops(self, link: Link, packet: Packet) -> bool:
+        if packet.loss_exempt:
+            return False
+        if self.loss_oracle is not None:
+            return self.loss_oracle(link, packet)
+        return link.loss_rate > 0.0 and self._loss_rng.random() < link.loss_rate
+
+    # ---------------------------------------------------------------- builders
+
+    def add_node(self, name: Optional[str] = None, node_id: Optional[int] = None) -> Node:
+        """Create a node.  Ids are assigned densely from 0 unless given."""
+        if node_id is None:
+            node_id = len(self.nodes)
+            while node_id in self.nodes:
+                node_id += 1
+        if node_id in self.nodes:
+            raise TopologyError(f"duplicate node id {node_id}")
+        node = Node(node_id, name)
+        self.nodes[node_id] = node
+        self._adjacency[node_id] = {}
+        self._invalidate()
+        return node
+
+    def add_link(
+        self,
+        a: int,
+        b: int,
+        bandwidth_bps: float,
+        latency_s: float,
+        loss_rate: float = 0.0,
+        loss_rate_ba: Optional[float] = None,
+        queue_limit: Optional[int] = None,
+    ) -> Tuple[Link, Link]:
+        """Add a duplex link; returns the (a→b, b→a) directed halves.
+
+        ``loss_rate`` applies to both directions unless ``loss_rate_ba``
+        overrides the reverse direction.  ``queue_limit`` bounds the
+        drop-tail buffer (packets) in both directions.
+        """
+        for n in (a, b):
+            if n not in self.nodes:
+                raise TopologyError(f"unknown node {n}")
+        if a == b:
+            raise TopologyError(f"self-loop at node {a}")
+        if (a, b) in self._links:
+            raise TopologyError(f"duplicate link {a}<->{b}")
+        fwd = Link(a, b, bandwidth_bps, latency_s, loss_rate, queue_limit)
+        rev = Link(
+            b, a, bandwidth_bps, latency_s,
+            loss_rate if loss_rate_ba is None else loss_rate_ba, queue_limit,
+        )
+        self._links[(a, b)] = fwd
+        self._links[(b, a)] = rev
+        self._adjacency[a][b] = latency_s
+        self._adjacency[b][a] = latency_s
+        self._invalidate()
+        return fwd, rev
+
+    def link(self, src: int, dst: int) -> Link:
+        """The directed link src→dst (TopologyError if absent)."""
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise TopologyError(f"no link {src}->{dst}") from None
+
+    def links(self) -> Iterable[Link]:
+        """All directed links."""
+        return self._links.values()
+
+    def set_link_loss(self, a: int, b: int, loss_rate: float, both: bool = True) -> None:
+        """Adjust loss on a→b (and b→a when ``both``)."""
+        self.link(a, b).loss_rate = loss_rate
+        if both:
+            self.link(b, a).loss_rate = loss_rate
+
+    def _invalidate(self) -> None:
+        self._topology_version += 1
+        self._tree_cache.clear()
+        self._routing_cache.clear()
+
+    # ------------------------------------------------------------------ groups
+
+    def create_group(self, name: str = "", scope: Optional[Set[int]] = None) -> MulticastGroup:
+        """Allocate a multicast group, optionally scope-restricted."""
+        if scope is not None:
+            unknown = set(scope) - set(self.nodes)
+            if unknown:
+                raise ScopeError(f"scope contains unknown nodes {sorted(unknown)}")
+        group = MulticastGroup(self._next_group_id, name, scope)
+        self._next_group_id += 1
+        self.groups[group.group_id] = group
+        return group
+
+    def subscribe(self, group_id: int, node_id: int, handler: DeliveryHandler) -> None:
+        """Join a node to a group and register its delivery callback."""
+        group = self._group(group_id)
+        group.subscribe(node_id)
+        self.nodes[node_id].add_handler(group_id, handler)
+
+    def unsubscribe(self, group_id: int, node_id: int, handler: DeliveryHandler) -> None:
+        """Leave a group and drop the callback."""
+        group = self._group(group_id)
+        group.unsubscribe(node_id)
+        self.nodes[node_id].remove_handler(group_id, handler)
+
+    def _group(self, group_id: int) -> MulticastGroup:
+        try:
+            return self.groups[group_id]
+        except KeyError:
+            raise ScopeError(f"unknown group {group_id}") from None
+
+    # --------------------------------------------------------------- observers
+
+    def add_observer(self, observer: object) -> None:
+        """Attach a traffic observer (``on_send`` / ``on_receive`` / ``on_drop``)."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: object) -> None:
+        """Detach a previously attached observer."""
+        self._observers.remove(observer)
+
+    def _notify(self, method: str, event: PacketEvent) -> None:
+        for observer in self._observers:
+            callback = getattr(observer, method, None)
+            if callback is not None:
+                callback(event)
+
+    # --------------------------------------------------------------- multicast
+
+    def multicast(self, src: int, packet: Packet) -> None:
+        """Send ``packet`` from ``src`` to its group along the scoped tree.
+
+        The sender *hears its own transmission* logically (SRM-style agents
+        rely on hearing their own NACKs/repairs only in the sense of having
+        sent them; we do not loop packets back to the sender).
+        """
+        group = self._group(packet.group)
+        if not group.allows(src):
+            raise ScopeError(
+                f"node {src} cannot send on group {group.name!r}: outside scope"
+            )
+        children = self._tree_for(src, group)
+        if self._observers:
+            self._notify(
+                "on_send",
+                PacketEvent(self.sim.now, src, packet.kind, packet.size_bytes, True),
+            )
+        self.sim.tracer.emit(self.sim.now, "pkt.send", src, packet)
+        self._forward_hops(children, src, packet)
+
+    def _tree_for(self, src: int, group: MulticastGroup) -> Dict[int, List[int]]:
+        key = (group.group_id, src)
+        cached = self._tree_cache.get(key)
+        stamp = group.version + (self._topology_version << 32)
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        members = set(group.subscribers)
+        members.discard(src)
+        allowed = group.scope
+        try:
+            children = shortest_path_tree(self._adjacency, src, members, allowed)
+        except RoutingError as exc:
+            raise RoutingError(f"group {group.name!r}: {exc}") from exc
+        self._tree_cache[key] = (stamp, children)
+        return children
+
+    def _forward_hops(self, children: Dict[int, List[int]], node: int, packet: Packet) -> None:
+        kids = children.get(node)
+        if not kids:
+            return
+        now = self.sim.now
+        for child in kids:
+            link = self._links[(node, child)]
+            if self._drops(link, packet):
+                link.record_drop()
+                if self._observers:
+                    self._notify(
+                        "on_drop",
+                        PacketEvent(now, child, packet.kind, packet.size_bytes, False),
+                    )
+                self.sim.tracer.emit(now, "pkt.drop", child, packet)
+                continue
+            arrival = link.transmit(now, packet.size_bytes)
+            if arrival is None:  # drop-tail queue overflow
+                if self._observers:
+                    self._notify(
+                        "on_drop",
+                        PacketEvent(now, child, packet.kind, packet.size_bytes, False),
+                    )
+                self.sim.tracer.emit(now, "pkt.qdrop", child, packet)
+                continue
+            self.sim.at(arrival, self._arrive_multicast, packet, children, child)
+
+    def _arrive_multicast(self, packet: Packet, children: Dict[int, List[int]], node: int) -> None:
+        group = self.groups.get(packet.group)
+        is_subscriber = group is not None and node in group.subscribers
+        if self._observers:
+            self._notify(
+                "on_receive",
+                PacketEvent(self.sim.now, node, packet.kind, packet.size_bytes, is_subscriber),
+            )
+        if is_subscriber:
+            self.sim.tracer.emit(self.sim.now, "pkt.recv", node, packet)
+            self.nodes[node].deliver(packet)
+        self._forward_hops(children, node, packet)
+
+    # ----------------------------------------------------------------- unicast
+
+    def unicast(self, packet: UnicastPacket) -> None:
+        """Send a unicast packet hop-by-hop along the shortest path."""
+        if packet.dst not in self.nodes:
+            raise RoutingError(f"unknown destination {packet.dst}")
+        table = self.routing_table(packet.src)
+        path = table.path_to(packet.dst)
+        if self._observers:
+            self._notify(
+                "on_send",
+                PacketEvent(self.sim.now, packet.src, packet.kind, packet.size_bytes, True),
+            )
+        self._unicast_hop(packet, path, 0)
+
+    def _unicast_hop(self, packet: UnicastPacket, path: List[int], index: int) -> None:
+        if index + 1 >= len(path):
+            if self._observers:
+                self._notify(
+                    "on_receive",
+                    PacketEvent(self.sim.now, packet.dst, packet.kind, packet.size_bytes, True),
+                )
+            self.nodes[packet.dst].deliver_unicast(packet)
+            return
+        node, nxt = path[index], path[index + 1]
+        link = self._links[(node, nxt)]
+        if self._drops(link, packet):
+            link.record_drop()
+            if self._observers:
+                self._notify(
+                    "on_drop",
+                    PacketEvent(self.sim.now, nxt, packet.kind, packet.size_bytes, False),
+                )
+            return
+        arrival = link.transmit(self.sim.now, packet.size_bytes)
+        if arrival is None:  # drop-tail queue overflow
+            if self._observers:
+                self._notify(
+                    "on_drop",
+                    PacketEvent(self.sim.now, nxt, packet.kind, packet.size_bytes, False),
+                )
+            return
+        self.sim.at(arrival, self._unicast_hop, packet, path, index + 1)
+
+    # ------------------------------------------------------------------- query
+
+    def routing_table(self, source: int) -> RoutingTable:
+        """Cached shortest-path routing table rooted at ``source``."""
+        table = self._routing_cache.get(source)
+        if table is None:
+            table = RoutingTable(self._adjacency, source)
+            self._routing_cache[source] = table
+        return table
+
+    def one_way_delay(self, a: int, b: int) -> float:
+        """Shortest-path propagation latency a→b (ignores serialization)."""
+        return self.routing_table(a).distance_to(b)
+
+    def true_rtt(self, a: int, b: int) -> float:
+        """Ground-truth RTT between two nodes (2 × one-way latency).
+
+        Used to score SHARQFEC's indirect RTT estimates (Figures 11–13).
+        """
+        return 2.0 * self.one_way_delay(a, b)
+
+    def adjacency(self) -> Dict[int, Dict[int, float]]:
+        """Latency-weighted adjacency map (a copy; safe to mutate)."""
+        return {u: dict(vs) for u, vs in self._adjacency.items()}
+
+    def path_loss(self, src: int, dst: int) -> float:
+        """Compounded loss probability along the shortest path src→dst.
+
+        ``1 - Π(1 - loss_link)`` over the path's links — the paper's §3.1
+        "Total Loss" formula.
+        """
+        path = self.routing_table(src).path_to(dst)
+        p_ok = 1.0
+        for u, v in zip(path, path[1:]):
+            p_ok *= 1.0 - self._links[(u, v)].loss_rate
+        return 1.0 - p_ok

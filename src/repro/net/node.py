@@ -1,0 +1,67 @@
+"""Node model.
+
+A node is a router + optional host.  Routing is done by the
+:class:`~repro.net.network.Network` (which owns the topology); the node
+object holds per-group delivery callbacks registered by protocol agents.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.net.packet import Packet
+
+DeliveryHandler = Callable[[Packet], None]
+
+
+class Node:
+    """A network node identified by a small integer id."""
+
+    __slots__ = ("node_id", "name", "_handlers", "_unicast_handler")
+
+    def __init__(self, node_id: int, name: Optional[str] = None) -> None:
+        self.node_id = node_id
+        self.name = name if name is not None else f"n{node_id}"
+        self._handlers: Dict[int, List[DeliveryHandler]] = {}
+        self._unicast_handler: Optional[DeliveryHandler] = None
+
+    # ----------------------------------------------------------- subscription
+
+    def add_handler(self, group: int, handler: DeliveryHandler) -> None:
+        """Register a callback for packets delivered on ``group``."""
+        self._handlers.setdefault(group, []).append(handler)
+
+    def remove_handler(self, group: int, handler: DeliveryHandler) -> None:
+        """Remove a callback (ValueError if it was never registered)."""
+        handlers = self._handlers.get(group)
+        if not handlers or handler not in handlers:
+            raise ValueError(f"handler not registered for group {group} at {self.name}")
+        handlers.remove(handler)
+        if not handlers:
+            del self._handlers[group]
+
+    def set_unicast_handler(self, handler: Optional[DeliveryHandler]) -> None:
+        """Install the callback for unicast packets addressed to this node."""
+        self._unicast_handler = handler
+
+    def groups(self) -> List[int]:
+        """Group ids this node currently has handlers for."""
+        return list(self._handlers)
+
+    # --------------------------------------------------------------- delivery
+
+    def deliver(self, packet: Packet) -> None:
+        """Hand a multicast packet to every handler subscribed to its group."""
+        handlers = self._handlers.get(packet.group)
+        if handlers:
+            # Copy: a handler may (un)subscribe while we iterate.
+            for handler in list(handlers):
+                handler(packet)
+
+    def deliver_unicast(self, packet: Packet) -> None:
+        """Hand a unicast packet to the unicast handler, if any."""
+        if self._unicast_handler is not None:
+            self._unicast_handler(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.node_id} {self.name!r}>"

@@ -1,0 +1,83 @@
+"""Packet base class.
+
+Protocol PDUs (data, FEC repairs, NACKs, session messages, ZCR messages)
+subclass :class:`Packet`.  The network layer only looks at ``size_bytes``,
+``loss_exempt`` and the addressing fields; everything else is opaque payload
+for the protocol agents.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+_packet_uid = itertools.count(1)
+
+
+class Packet:
+    """Base class for everything that traverses the simulated network.
+
+    Attributes:
+        kind: short string tag used by traffic monitors, e.g. ``"DATA"``,
+            ``"FEC"``, ``"NACK"``, ``"SESSION"``.
+        src: originating node id.
+        group: multicast group id the packet is addressed to.
+        size_bytes: wire size used for serialization-delay and bandwidth
+            accounting.
+        loss_exempt: if True, per-link Bernoulli loss is not applied.  The
+            paper's simulations exempt session traffic and NACKs (§6.2) while
+            data and repair packets are lossy.
+        uid: globally unique packet instance id (diagnostics, dedup in
+            tests).
+    """
+
+    __slots__ = ("kind", "src", "group", "size_bytes", "loss_exempt", "uid")
+
+    def __init__(
+        self,
+        kind: str,
+        src: int,
+        group: int,
+        size_bytes: int,
+        loss_exempt: bool = False,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {size_bytes}")
+        self.kind = kind
+        self.src = src
+        self.group = group
+        self.size_bytes = size_bytes
+        self.loss_exempt = loss_exempt
+        self.uid = next(_packet_uid)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for traces and error messages."""
+        return f"{self.kind}(src={self.src}, group={self.group}, {self.size_bytes}B)"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.describe()} uid={self.uid}>"
+
+
+class UnicastPacket(Packet):
+    """A packet addressed to a single destination node.
+
+    Provided for completeness of the substrate; the SHARQFEC and SRM agents
+    are multicast-only, but tests and downstream users exercise unicast.
+    """
+
+    __slots__ = ("dst",)
+
+    def __init__(
+        self,
+        kind: str,
+        src: int,
+        dst: int,
+        size_bytes: int,
+        loss_exempt: bool = False,
+        group: Optional[int] = None,
+    ) -> None:
+        super().__init__(kind, src, -1 if group is None else group, size_bytes, loss_exempt)
+        self.dst = dst
+
+    def describe(self) -> str:
+        return f"{self.kind}(src={self.src}, dst={self.dst}, {self.size_bytes}B)"

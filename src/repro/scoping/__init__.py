@@ -1,0 +1,12 @@
+"""Administratively scoped zone hierarchies.
+
+The paper's central deployment assumption: nested administratively scoped
+multicast regions ("zones"), each with its own repair channel, enforced by
+border gateway routers.  We model a zone as a node set; the network layer
+refuses to forward a zone-scoped packet across the boundary.
+"""
+
+from repro.scoping.channels import ScopedChannels, ZoneChannels
+from repro.scoping.zone import Zone, ZoneHierarchy
+
+__all__ = ["ScopedChannels", "Zone", "ZoneChannels", "ZoneHierarchy"]

@@ -1,0 +1,113 @@
+"""Event and event-queue primitives for the discrete-event engine.
+
+Events are ordered by (time, sequence).  The sequence number is a global
+monotonic counter so that two events scheduled for the same instant fire in
+the order they were scheduled — this keeps runs deterministic, which matters
+because every SHARQFEC experiment is seeded and expected to reproduce
+bit-identical traffic series.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional, Tuple
+
+
+class Event:
+    """A single scheduled callback.
+
+    An event may be *cancelled*, in which case it stays in the heap but is
+    skipped when popped.  Cancellation is O(1); the heap is lazily cleaned.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so it will not fire when popped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (caller must check ``cancelled`` first)."""
+        self.callback(*self.args)
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.6f} #{self.seq} {name}{state}>"
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects.
+
+    Cancelled events are dropped when they surface.  ``peek_time`` reports the
+    time of the next *live* event, which the scheduler uses to decide whether
+    the run horizon has been reached.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...] = ()) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time`` and return the event."""
+        event = Event(time, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if empty."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event without removing it."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        if not heap:
+            return None
+        return heap[0].time
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,136 @@
+"""The simulator core: virtual clock + event loop.
+
+``Simulator`` owns the event queue, the clock and the RNG registry.  Protocol
+agents and the network model schedule callbacks on it; ``run()`` drains events
+in time order until the horizon or until the queue empties.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling requests (negative delay, time travel)."""
+
+
+class Simulator:
+    """Discrete-event simulator with a floating-point clock in seconds."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self.rng = RngRegistry(seed)
+        self.tracer = Tracer()
+        self._events_fired = 0
+
+    # ------------------------------------------------------------------ clock
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (diagnostics / perf tests)."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of live events still queued."""
+        return len(self._queue)
+
+    # -------------------------------------------------------------- schedule
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._queue.push(self._now + delay, callback, args)
+
+    def at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time!r}, now is {self._now!r}")
+        return self._queue.push(time, callback, args)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (no-op if already cancelled)."""
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------- run
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain the event queue.
+
+        Args:
+            until: stop once the next event would fire after this time; the
+                clock is advanced to ``until`` when the horizon is hit.
+            max_events: safety valve; raise if more events than this fire.
+
+        Returns:
+            The virtual time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while True:
+                if self._stopped:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                event = self._queue.pop()
+                if event is None:  # pragma: no cover - race with peek
+                    break
+                self._now = event.time
+                event.fire()
+                self._events_fired += 1
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request that ``run()`` return after the current event."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Fire exactly one event.  Returns False if the queue was empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        event.fire()
+        self._events_fired += 1
+        return True
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Clear all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._events_fired = 0
+        if seed is not None:
+            self.rng = RngRegistry(seed)

@@ -1,0 +1,84 @@
+"""Cancellable, restartable timers built on the event queue.
+
+SHARQFEC agents juggle many timers per packet group (LDP timer, request
+timer, reply timer, session timer, ZCR timers).  ``Timer`` wraps the raw
+event-cancellation dance into start/restart/cancel semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event
+from repro.sim.scheduler import Simulator
+
+
+class TimerError(RuntimeError):
+    """Raised on invalid timer operations (e.g. starting a running timer)."""
+
+
+class Timer:
+    """A one-shot timer bound to a simulator and a callback.
+
+    The callback receives no arguments; bind context with a closure or
+    ``functools.partial``.  ``restart`` cancels any pending expiry first, so
+    it is always safe to call.
+    """
+
+    __slots__ = ("_sim", "_callback", "_event", "name")
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any], name: str = "") -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+        self.name = name
+
+    @property
+    def running(self) -> bool:
+        """True while an expiry is pending."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expires_at(self) -> Optional[float]:
+        """Absolute expiry time, or None if not running."""
+        if self.running:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def start(self, delay: float) -> None:
+        """Arm the timer ``delay`` seconds from now.  Errors if running."""
+        if self.running:
+            raise TimerError(f"timer {self.name!r} already running")
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def restart(self, delay: float) -> None:
+        """Cancel any pending expiry and arm ``delay`` seconds from now."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def extend_to(self, time: float) -> None:
+        """Ensure the timer fires no earlier than absolute ``time``.
+
+        Used by the LDP timer when later packets push out the estimated
+        end-of-group arrival time.
+        """
+        if self.running and self.expires_at is not None and self.expires_at >= time:
+            return
+        self.cancel()
+        self._event = self._sim.at(time, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer if pending (idempotent)."""
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.running:
+            return f"<Timer {self.name!r} expires@{self.expires_at:.6f}>"
+        return f"<Timer {self.name!r} idle>"

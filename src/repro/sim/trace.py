@@ -1,0 +1,76 @@
+"""Lightweight tracing hooks.
+
+The experiment drivers attach listeners to record packet events (send,
+receive, drop) without the protocol code knowing who is watching.  Records
+are cheap named tuples; heavy aggregation lives in ``repro.analysis``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+
+class TraceRecord(NamedTuple):
+    """One traced occurrence.
+
+    Attributes:
+        time: virtual time of the occurrence.
+        category: coarse event class, e.g. ``"pkt.recv"`` or ``"timer"``.
+        node: node identifier the event happened at (or -1 for global).
+        detail: free-form payload (usually the packet or a small dict).
+    """
+
+    time: float
+    category: str
+    node: int
+    detail: object
+
+
+Listener = Callable[[TraceRecord], None]
+
+
+class Tracer:
+    """Pub/sub dispatcher for trace records.
+
+    Listeners subscribe to a category prefix; ``emit`` is a no-op when nobody
+    listens, so tracing costs almost nothing in production runs.
+    """
+
+    def __init__(self) -> None:
+        self._listeners: Dict[str, List[Listener]] = {}
+        self._any: List[Listener] = []
+        self.enabled = True
+
+    def subscribe(self, category: Optional[str], listener: Listener) -> None:
+        """Register ``listener`` for ``category`` (None means every record)."""
+        if category is None:
+            self._any.append(listener)
+        else:
+            self._listeners.setdefault(category, []).append(listener)
+
+    def unsubscribe(self, category: Optional[str], listener: Listener) -> None:
+        """Remove a previously registered listener (ValueError if absent)."""
+        if category is None:
+            self._any.remove(listener)
+        else:
+            self._listeners[category].remove(listener)
+
+    def has_listeners(self, category: str) -> bool:
+        """True if ``emit`` for this category would reach anyone."""
+        if self._any:
+            return True
+        return bool(self._listeners.get(category))
+
+    def emit(self, time: float, category: str, node: int, detail: object = None) -> None:
+        """Dispatch a record to matching listeners."""
+        if not self.enabled:
+            return
+        exact = self._listeners.get(category)
+        if not exact and not self._any:
+            return
+        record = TraceRecord(time, category, node, detail)
+        if exact:
+            for listener in exact:
+                listener(record)
+        for listener in self._any:
+            listener(record)

@@ -1,0 +1,15 @@
+"""Scalable Reliable Multicast (Floyd et al., SIGCOMM '95) baseline.
+
+The paper's §6.2 comparison protocol: receiver-driven ARQ with
+distance-proportional random suppression timers, per-packet requests and
+retransmissions, full-mesh session messages for RTT estimation, and the
+adaptive request/repair timer adjustment of the SRM paper ("adaptive timers
+turned on for best possible performance").
+"""
+
+from repro.srm.config import SrmConfig
+from repro.srm.protocol import SrmProtocol
+from repro.srm.agent import SrmAgent
+from repro.srm.timers import AdaptiveTimerState
+
+__all__ = ["AdaptiveTimerState", "SrmAgent", "SrmConfig", "SrmProtocol"]

@@ -1,0 +1,22 @@
+"""Topology builders.
+
+* :mod:`repro.topology.builders` — chains, stars, balanced trees.
+* :mod:`repro.topology.figure10` — the paper's 113-node hybrid mesh/tree
+  test network with its 3-level zone hierarchy (§6.1).
+* :mod:`repro.topology.national` — the Figure 7 national distribution
+  hierarchy (parameterized; analytic at full 10M scale, buildable small).
+"""
+
+from repro.topology.builders import build_chain, build_star, build_tree
+from repro.topology.figure10 import Figure10, build_figure10
+from repro.topology.national import NationalParams, build_national_network
+
+__all__ = [
+    "Figure10",
+    "NationalParams",
+    "build_chain",
+    "build_figure10",
+    "build_national_network",
+    "build_star",
+    "build_tree",
+]

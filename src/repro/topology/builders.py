@@ -1,0 +1,81 @@
+"""Generic topology builders used by tests, examples and small experiments."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.net.network import Network
+from repro.sim.scheduler import Simulator
+
+DEFAULT_BANDWIDTH = 10e6
+DEFAULT_LATENCY = 0.020
+
+
+def build_chain(
+    sim: Simulator,
+    n_nodes: int,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH,
+    latency_s: float = DEFAULT_LATENCY,
+    loss_rate: float = 0.0,
+) -> Network:
+    """A line 0 — 1 — ... — (n-1); the paper's ZCR chain case (Fig 9 left)."""
+    if n_nodes < 2:
+        raise TopologyError("a chain needs at least 2 nodes")
+    net = Network(sim)
+    for _ in range(n_nodes):
+        net.add_node()
+    for a in range(n_nodes - 1):
+        net.add_link(a, a + 1, bandwidth_bps, latency_s, loss_rate)
+    return net
+
+
+def build_star(
+    sim: Simulator,
+    n_leaves: int,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH,
+    latency_s: float = DEFAULT_LATENCY,
+    loss_rate: float = 0.0,
+    leaf_latencies: Optional[Sequence[float]] = None,
+) -> Network:
+    """Hub node 0 with ``n_leaves`` leaves; the paper's fork case (Fig 9 right)."""
+    if n_leaves < 1:
+        raise TopologyError("a star needs at least 1 leaf")
+    if leaf_latencies is not None and len(leaf_latencies) != n_leaves:
+        raise TopologyError("leaf_latencies length must equal n_leaves")
+    net = Network(sim)
+    net.add_node("hub")
+    for leaf in range(n_leaves):
+        net.add_node()
+        latency = leaf_latencies[leaf] if leaf_latencies is not None else latency_s
+        net.add_link(0, leaf + 1, bandwidth_bps, latency, loss_rate)
+    return net
+
+
+def build_tree(
+    sim: Simulator,
+    depth: int,
+    fanout: int,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH,
+    latency_s: float = DEFAULT_LATENCY,
+    loss_rate: float = 0.0,
+) -> Tuple[Network, List[List[int]]]:
+    """A balanced tree rooted at node 0.
+
+    Returns:
+        (network, levels) where ``levels[d]`` lists the node ids at depth d.
+    """
+    if depth < 1 or fanout < 1:
+        raise TopologyError("depth and fanout must be >= 1")
+    net = Network(sim)
+    root = net.add_node("root").node_id
+    levels: List[List[int]] = [[root]]
+    for _ in range(depth):
+        next_level: List[int] = []
+        for parent in levels[-1]:
+            for _ in range(fanout):
+                child = net.add_node().node_id
+                net.add_link(parent, child, bandwidth_bps, latency_s, loss_rate)
+                next_level.append(child)
+        levels.append(next_level)
+    return net, levels

@@ -1,0 +1,168 @@
+"""The Figure 7 national distribution hierarchy.
+
+The paper sizes a hypothetical event delivery to 10,000,210 receivers: one
+national zone, 10 regions, 20 cities per region, 100 suburbs per city, 500
+subscribers per suburb, with dedicated caching receivers acting as ZCRs at
+every bifurcation except the suburbs (which elect one of their 500).
+
+At full scale the network is analytic only (:class:`NationalParams` feeds
+the Figure 8 state-reduction table in :mod:`repro.analysis.state_table`);
+:func:`build_national_network` instantiates a scaled-down version as a real
+simulated network + hierarchy for examples and integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import TopologyError
+from repro.net.network import Network
+from repro.scoping.zone import ZoneHierarchy
+from repro.sim.scheduler import Simulator
+
+
+@dataclass(frozen=True)
+class NationalParams:
+    """Shape parameters of the Figure 7/8 hierarchy."""
+
+    regions: int = 10
+    cities_per_region: int = 20
+    suburbs_per_city: int = 100
+    subscribers_per_suburb: int = 500
+
+    @property
+    def n_cities(self) -> int:
+        return self.regions * self.cities_per_region
+
+    @property
+    def n_suburbs(self) -> int:
+        return self.n_cities * self.suburbs_per_city
+
+    @property
+    def n_subscribers(self) -> int:
+        return self.n_suburbs * self.subscribers_per_suburb
+
+    @property
+    def n_receivers(self) -> int:
+        """Every receiver: caching ZCRs at region and city level + subscribers.
+
+        Matches the paper's 10,000,210 for the default parameters.
+        """
+        return self.regions + self.n_cities + self.n_subscribers
+
+    @property
+    def n_session_members(self) -> int:
+        """Receivers plus the single sender."""
+        return self.n_receivers + 1
+
+
+@dataclass
+class NationalNetwork:
+    """A (scaled-down) built national hierarchy."""
+
+    network: Network
+    hierarchy: ZoneHierarchy
+    source: int
+    region_caches: List[int]
+    city_caches: Dict[int, List[int]]
+    subscribers: Dict[int, List[int]]
+
+    @property
+    def receivers(self) -> List[int]:
+        out = list(self.region_caches)
+        for caches in self.city_caches.values():
+            out.extend(caches)
+        for subs in self.subscribers.values():
+            out.extend(subs)
+        return sorted(out)
+
+
+def build_national_network(
+    sim: Simulator,
+    params: NationalParams,
+    backbone_bandwidth: float = 155e6,
+    access_bandwidth: float = 10e6,
+    backbone_latency: float = 0.015,
+    access_latency: float = 0.005,
+    backbone_loss: float = 0.01,
+    access_loss: float = 0.03,
+    max_nodes: int = 5000,
+) -> NationalNetwork:
+    """Instantiate the hierarchy as a real network (small parameters only).
+
+    Topology: source → region cache → city cache → suburb subscribers, with
+    the suburb's first subscriber doubling as the suburb access point (the
+    member that would be elected suburb ZCR).
+
+    Raises:
+        TopologyError: if the parameterization would exceed ``max_nodes``
+            (the full 10M-receiver configuration is analytic-only).
+    """
+    total = 1 + params.regions * (
+        1 + params.cities_per_region * (1 + params.suburbs_per_city * params.subscribers_per_suburb)
+    )
+    if total > max_nodes:
+        raise TopologyError(
+            f"national build would create {total} nodes (> {max_nodes}); "
+            "use NationalParams analytically instead"
+        )
+    net = Network(sim)
+    source = net.add_node("source").node_id
+    hierarchy = ZoneHierarchy()
+    region_caches: List[int] = []
+    city_caches: Dict[int, List[int]] = {}
+    subscribers: Dict[int, List[int]] = {}
+    # Build nodes/links first, zones after (zone sets need the node ids).
+    structure: List[Tuple[int, List[Tuple[int, List[int]]]]] = []
+    for _r in range(params.regions):
+        region = net.add_node().node_id
+        net.add_link(source, region, backbone_bandwidth, backbone_latency, backbone_loss)
+        region_caches.append(region)
+        cities: List[Tuple[int, List[int]]] = []
+        city_caches[region] = []
+        for _c in range(params.cities_per_region):
+            city = net.add_node().node_id
+            net.add_link(region, city, backbone_bandwidth, backbone_latency, backbone_loss)
+            city_caches[region].append(city)
+            suburb_members: List[int] = []
+            for _s in range(params.suburbs_per_city):
+                first = None
+                for _m in range(params.subscribers_per_suburb):
+                    member = net.add_node().node_id
+                    attach = city if first is None else first
+                    net.add_link(
+                        attach, member, access_bandwidth, access_latency, access_loss
+                    )
+                    if first is None:
+                        first = member
+                    suburb_members.append(member)
+            cities.append((city, suburb_members))
+            subscribers[city] = suburb_members
+        structure.append((region, cities))
+
+    root = hierarchy.add_root(set(net.nodes), name="National")
+    for region, cities in structure:
+        region_nodes = {region}
+        for city, members in cities:
+            region_nodes.add(city)
+            region_nodes.update(members)
+        region_zone = hierarchy.add_zone(root.zone_id, region_nodes, name=f"R{region}")
+        for city, members in cities:
+            city_nodes = {city} | set(members)
+            city_zone = hierarchy.add_zone(region_zone.zone_id, city_nodes, name=f"C{city}")
+            # One suburb zone per suburb group, keyed by its access member.
+            per_suburb = params.subscribers_per_suburb
+            for s in range(params.suburbs_per_city):
+                suburb_nodes = set(members[s * per_suburb : (s + 1) * per_suburb])
+                if suburb_nodes:
+                    hierarchy.add_zone(city_zone.zone_id, suburb_nodes, name=f"S{city}.{s}")
+
+    return NationalNetwork(
+        network=net,
+        hierarchy=hierarchy,
+        source=source,
+        region_caches=region_caches,
+        city_caches=city_caches,
+        subscribers=subscribers,
+    )

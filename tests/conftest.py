@@ -1,0 +1,46 @@
+"""Shared fixtures: small canonical networks used across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.network import Network
+from repro.sim.scheduler import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def line_net(sim: Simulator) -> Network:
+    """0 — 1 — 2 — 3 chain, 10 Mbit, 10 ms per hop, lossless."""
+    net = Network(sim)
+    for _ in range(4):
+        net.add_node()
+    for a, b in [(0, 1), (1, 2), (2, 3)]:
+        net.add_link(a, b, 10e6, 0.010)
+    return net
+
+
+@pytest.fixture
+def star_net(sim: Simulator) -> Network:
+    """Hub 0 with leaves 1..4, 10 Mbit, 5 ms, lossless."""
+    net = Network(sim)
+    for _ in range(5):
+        net.add_node()
+    for leaf in range(1, 5):
+        net.add_link(0, leaf, 10e6, 0.005)
+    return net
+
+
+@pytest.fixture
+def tree_net(sim: Simulator) -> Network:
+    """Binary tree of depth 2: 0 -> (1,2), 1 -> (3,4), 2 -> (5,6)."""
+    net = Network(sim)
+    for _ in range(7):
+        net.add_node()
+    for a, b in [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]:
+        net.add_link(a, b, 10e6, 0.020)
+    return net

@@ -1,0 +1,103 @@
+"""Tests for recovery-latency analysis and session-scaling measurement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.latency import (
+    group_end_time,
+    latency_stats,
+    recovery_latencies,
+)
+from repro.core.config import SharqfecConfig
+from repro.core.protocol import SharqfecProtocol
+from repro.experiments.session_scaling import (
+    growth_exponent,
+    measure_point,
+    ScalingPoint,
+)
+from repro.sim.scheduler import Simulator
+from repro.topology.builders import build_star
+
+
+def test_latency_stats_distribution():
+    stats = latency_stats([0.1, 0.2, 0.3, 0.4])
+    assert stats.count == 4
+    assert stats.mean == pytest.approx(0.25)
+    assert stats.median == pytest.approx(0.25)
+    assert stats.worst == pytest.approx(0.4)
+
+
+def test_latency_stats_empty():
+    stats = latency_stats([])
+    assert stats.count == 0 and stats.worst == 0.0
+
+
+def run_small(seed=1, loss=0.1):
+    sim = Simulator(seed=seed)
+    net = build_star(sim, n_leaves=3, loss_rate=loss)
+    cfg = SharqfecConfig(n_packets=32, scoping=False)
+    proto = SharqfecProtocol(net, cfg, 0, [1, 2, 3])
+    proto.start(1.0, 6.0)
+    sim.run(until=30.0)
+    assert proto.all_complete()
+    return proto
+
+
+def test_group_end_time_arithmetic():
+    proto = run_small()
+    # Group 0 ends at data_start + 15 * ipt; group 1 at + 31 * ipt.
+    assert group_end_time(proto, 0, 6.0) == pytest.approx(6.0 + 15 * 0.01)
+    assert group_end_time(proto, 1, 6.0) == pytest.approx(6.0 + 31 * 0.01)
+
+
+def test_recovery_latencies_nonnegative_and_bounded():
+    proto = run_small()
+    samples = recovery_latencies(proto, data_start=6.0)
+    # 3 receivers x 2 groups.
+    assert len(samples) == 6
+    assert all(s >= 0 for s in samples)
+    assert max(samples) < 10.0
+
+
+def test_lossless_run_latency_is_propagation_only():
+    proto = run_small(seed=2, loss=0.0)
+    samples = recovery_latencies(proto, data_start=6.0)
+    # With no losses the only "recovery" delay is the last packet's flight
+    # time (5 ms links + serialization) — far below any repair timescale.
+    assert all(s < 0.05 for s in samples)
+
+
+def test_completed_at_recorded():
+    proto = run_small()
+    for receiver in proto.receivers.values():
+        for state in receiver.groups.values():
+            assert state.completed_at is not None
+            assert state.first_arrival is not None
+            assert state.completed_at >= state.first_arrival
+
+
+# ------------------------------------------------------------ scaling sweep
+
+
+def test_measure_point_srm_state_is_full_mesh():
+    point = measure_point(depth=2, fanout=2, protocol="SRM", duration=6.0)
+    assert point.n_members == 7
+    assert point.max_rtt_state == 6  # every peer tracked
+    assert point.session_bytes_per_member > 0
+
+
+def test_measure_point_sharqfec_state_reduced():
+    srm = measure_point(depth=3, fanout=3, protocol="SRM", duration=6.0)
+    sharq = measure_point(depth=3, fanout=3, protocol="SHARQFEC", duration=6.0)
+    assert sharq.max_rtt_state < srm.max_rtt_state
+    assert sharq.session_bytes_per_member < srm.session_bytes_per_member
+
+
+def test_growth_exponent_fits_power_law():
+    points = [
+        ScalingPoint(10, "X", 100.0, 0, 0),
+        ScalingPoint(100, "X", 10000.0, 0, 0),
+    ]
+    assert growth_exponent(points) == pytest.approx(2.0)
+    assert growth_exponent(points[:1]) == 0.0

@@ -1,0 +1,40 @@
+"""Tests for the sparkline renderer."""
+
+from __future__ import annotations
+
+from repro.analysis.report import sparkline
+
+
+def test_sparkline_shape():
+    line = sparkline([0, 5, 10, 5, 0])
+    assert len(line) == 5
+    assert line[0] == "▁" and line[2] == "█"
+    assert line == line[::-1]  # symmetric input, symmetric output
+
+
+def test_sparkline_constant_series_is_flat():
+    assert sparkline([7.0] * 12) == "▁" * 12
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_sparkline_downsamples_to_width():
+    line = sparkline(list(range(1000)), width=50)
+    assert len(line) == 50
+    # Monotone input stays (weakly) monotone after max-bucketing.
+    levels = "▁▂▃▄▅▆▇█"
+    indices = [levels.index(c) for c in line]
+    assert indices == sorted(indices)
+
+
+def test_sparkline_downsampling_preserves_peaks():
+    series = [0.0] * 100
+    series[42] = 99.0  # a single spike must survive max-bucketing
+    line = sparkline(series, width=20)
+    assert "█" in line
+
+
+def test_sparkline_short_series_not_padded():
+    assert len(sparkline([1, 2], width=72)) == 2

@@ -1,0 +1,70 @@
+"""Tests for the end-of-run report."""
+
+from __future__ import annotations
+
+from repro.analysis.summary import (
+    receiver_summaries,
+    render_run_report,
+    zone_summaries,
+)
+from repro.core.config import SharqfecConfig
+from repro.core.protocol import SharqfecProtocol
+from repro.net.monitor import TrafficMonitor
+from repro.sim.scheduler import Simulator
+from repro.topology.figure10 import build_figure10
+
+
+def run_small(seed=1):
+    sim = Simulator(seed=seed)
+    topo = build_figure10(sim)
+    monitor = TrafficMonitor()
+    topo.network.add_observer(monitor)
+    cfg = SharqfecConfig(n_packets=48)
+    proto = SharqfecProtocol(
+        topo.network, cfg, topo.source, topo.receivers, topo.hierarchy
+    )
+    proto.start(1.0, 6.0)
+    sim.run(until=35.0)
+    assert proto.all_complete()
+    return topo, proto, monitor
+
+
+def test_zone_summaries_cover_all_zones():
+    topo, proto, monitor = run_small()
+    zones = zone_summaries(proto)
+    assert len(zones) == len(topo.hierarchy.zones())
+    root = [z for z in zones if z.level == 0][0]
+    assert root.members == len(topo.receivers)
+    # Tree zones have 16 members, child zones 5.
+    assert {z.members for z in zones if z.level == 1} == {16}
+    assert {z.members for z in zones if z.level == 2} == {5}
+
+
+def test_zone_accounting_matches_totals():
+    topo, proto, monitor = run_small()
+    zones = zone_summaries(proto)
+    assert sum(z.nacks_sent for z in zones) == proto.total_nacks_sent()
+    total_repairs = sum(
+        a.repairs_by_zone.get(z.zone_id, 0)
+        for a in [proto.sender, *proto.receivers.values()]
+        for z in topo.hierarchy.zones()
+    )
+    assert sum(z.repairs_sent for z in zones) == total_repairs
+    assert total_repairs == monitor.sends.get("FEC", 0)
+
+
+def test_receiver_summaries():
+    topo, proto, monitor = run_small()
+    rows = receiver_summaries(proto)
+    assert len(rows) == len(topo.receivers)
+    assert all(r.groups_complete == proto.config.n_groups for r in rows)
+    assert all(r.data_received > 0 for r in rows)
+
+
+def test_render_run_report_text():
+    topo, proto, monitor = run_small()
+    text = render_run_report(proto, monitor, top_n=5)
+    assert "SHARQFEC" in text
+    assert "100.0%" in text
+    assert "per-zone repair activity" in text
+    assert "lossiest receivers" in text

@@ -1,0 +1,111 @@
+"""Tests for the §3.1 tree-loss analytics (Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.treeloss import (
+    LossTree,
+    example_figure1_tree,
+    normalized_fec_traffic,
+    prob_all_receive,
+    required_redundancy,
+)
+from repro.errors import TopologyError
+
+
+def simple_tree():
+    t = LossTree(root=0)
+    t.add_link(0, 1, 0.1)
+    t.add_link(0, 2, 0.0)
+    t.add_link(1, 3, 0.2)
+    return t
+
+
+def test_total_loss_compounds_along_path():
+    t = simple_tree()
+    assert t.total_loss(0) == pytest.approx(0.0)
+    assert t.total_loss(1) == pytest.approx(0.1)
+    assert t.total_loss(3) == pytest.approx(1 - 0.9 * 0.8)
+
+
+def test_prob_all_receive_is_product_over_links():
+    t = simple_tree()
+    assert prob_all_receive(t) == pytest.approx(0.9 * 1.0 * 0.8)
+
+
+def test_worst_receiver():
+    t = simple_tree()
+    node, loss = t.worst_receiver()
+    assert node == 3
+    assert loss == pytest.approx(1 - 0.72)
+
+
+def test_paths_and_leaves():
+    t = simple_tree()
+    assert t.path_to(3) == [0, 1, 3]
+    assert set(t.leaves()) == {2, 3}
+    assert len(t.nodes()) == 4
+
+
+def test_invalid_links_rejected():
+    t = simple_tree()
+    with pytest.raises(TopologyError):
+        t.add_link(0, 1, 0.1)  # duplicate child
+    with pytest.raises(TopologyError):
+        t.add_link(99, 100, 0.1)  # unknown parent
+    with pytest.raises(TopologyError):
+        t.add_link(2, 4, 1.0)  # loss out of range
+    with pytest.raises(TopologyError):
+        t.total_loss(42)
+
+
+def test_required_redundancy():
+    # 10% loss on k=16: (16+h)*0.9 >= 16 -> h = 2.
+    assert required_redundancy(16, 0.10) == 2
+    assert required_redundancy(16, 0.0) == 0
+    # ~9.73%: the paper's X needs ceil coverage.
+    assert required_redundancy(16, 0.0973) == 2
+    with pytest.raises(TopologyError):
+        required_redundancy(0, 0.1)
+    with pytest.raises(TopologyError):
+        required_redundancy(16, 1.0)
+
+
+def test_figure1_published_numbers():
+    """P(all receive) = 27.0% and worst receiver = 9.73% (§3.1)."""
+    tree = example_figure1_tree()
+    assert prob_all_receive(tree) == pytest.approx(0.270, abs=0.002)
+    _, worst = tree.worst_receiver()
+    assert worst == pytest.approx(0.0973, abs=0.0005)
+
+
+def test_figure1_fec_traffic_shape():
+    """Clean nodes carry surplus redundancy; X itself nets ~1.0 (Figure 1)."""
+    tree = example_figure1_tree()
+    traffic = normalized_fec_traffic(tree, k=16)
+    worst_node, worst_loss = tree.worst_receiver()
+    # The worst receiver ends up with just about the data volume it needs.
+    assert traffic[worst_node] == pytest.approx(1.0, abs=0.03)
+    # A node right under the source receives the full inflated stream.
+    top = tree.path_to(worst_node)[1]
+    assert traffic[top] > 1.05
+
+
+def test_normalized_traffic_with_explicit_worst():
+    t = simple_tree()
+    traffic = normalized_fec_traffic(t, k=10, worst_loss=0.2)
+    # h = ceil coverage for 20% on k=10 -> (10+h)*0.8 >= 10 -> h = 3.
+    assert traffic[0] == pytest.approx(1.3)
+    assert traffic[3] == pytest.approx(1.3 * 0.72)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=0.5), min_size=1, max_size=8))
+def test_chain_loss_monotone_along_path(losses):
+    t = LossTree(root=0)
+    for i, loss in enumerate(losses):
+        t.add_link(i, i + 1, loss)
+    path_losses = [t.total_loss(n) for n in range(len(losses) + 1)]
+    assert all(b >= a - 1e-12 for a, b in zip(path_losses, path_losses[1:]))

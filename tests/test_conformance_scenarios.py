@@ -1,0 +1,168 @@
+"""Scripted conformance scenarios.
+
+These tests inject *exact* loss patterns through the network's loss oracle
+and verify the precise protocol reaction — NACK content, repair counts,
+suppression — rather than statistical outcomes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SharqfecConfig
+from repro.core.pdus import FecPdu, NackPdu
+from repro.core.protocol import SharqfecProtocol
+from repro.net.network import Network
+from repro.scoping.zone import ZoneHierarchy
+from repro.sim.scheduler import Simulator
+
+
+class LossScript:
+    """Drop exactly the configured (link dst, kind, occurrence) packets."""
+
+    def __init__(self, drops):
+        # drops: set of (dst_node, kind, nth-occurrence-on-that-link)
+        self.drops = set(drops)
+        self._seen = {}
+
+    def __call__(self, link, packet):
+        key = (link.dst, packet.kind)
+        n = self._seen.get(key, 0)
+        self._seen[key] = n + 1
+        return (link.dst, packet.kind, n) in self.drops
+
+
+def scripted_session(drops, n_packets=16, seed=1, until=30.0):
+    """Star: source 0 -> hub 1 -> leaves 2,3; single flat zone."""
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    for _ in range(4):
+        net.add_node()
+    net.add_link(0, 1, 10e6, 0.010)
+    net.add_link(1, 2, 10e6, 0.020)
+    net.add_link(1, 3, 10e6, 0.020)
+    cfg = SharqfecConfig(n_packets=n_packets, scoping=False, injection=False)
+    proto = SharqfecProtocol(net, cfg, 0, [1, 2, 3])
+    net.loss_oracle = LossScript(drops)
+    sent = {"nacks": [], "fec": []}
+    original = net.multicast
+
+    def spy(src, pkt):
+        if isinstance(pkt, NackPdu):
+            sent["nacks"].append((src, pkt.group_id, pkt.llc, pkt.n_needed))
+        elif isinstance(pkt, FecPdu):
+            sent["fec"].append((src, pkt.group_id, pkt.index))
+        return original(src, pkt)
+
+    net.multicast = spy
+    proto.start(1.0, 6.0)
+    sim.run(until=until)
+    return proto, sent
+
+
+def test_no_losses_no_protocol_traffic():
+    proto, sent = scripted_session(drops=set())
+    assert proto.all_complete()
+    assert sent["nacks"] == []
+    assert sent["fec"] == []
+
+
+def test_single_loss_one_nack_one_repair():
+    """Drop exactly one DATA packet toward leaf 2: expect one NACK with
+    llc=1/n_needed=1 from node 2 and exactly one repair."""
+    proto, sent = scripted_session(drops={(2, "DATA", 4)})
+    assert proto.all_complete()
+    assert len(sent["nacks"]) == 1
+    src, group_id, llc, needed = sent["nacks"][0]
+    assert src == 2
+    assert llc == 1 and needed == 1
+    assert len(sent["fec"]) == 1
+    # The repair's identity continues after the group's data (k=16).
+    assert sent["fec"][0][2] == 16
+
+
+def test_shared_upstream_loss_single_nack_via_suppression():
+    """Dropping on the hub link deprives 1, 2 and 3 alike; ZLC suppression
+    must collapse their requests to (at most) one NACK wave, answered by
+    one repair from the source."""
+    proto, sent = scripted_session(drops={(1, "DATA", 7)})
+    assert proto.all_complete()
+    # All three receivers lost the same packet; llc == zlc suppresses the
+    # followers.
+    assert 1 <= len(sent["nacks"]) <= 2
+    assert all(llc == 1 for (_, _, llc, _) in sent["nacks"])
+    assert len(sent["fec"]) == 1
+    assert sent["fec"][0][0] == 0  # only the source held the group
+
+
+def test_two_losses_one_nack_requests_both():
+    """Two losses in one group at one receiver: a single NACK asks for two
+    repairs (the 'how many' semantics of §4), and two repairs flow."""
+    proto, sent = scripted_session(drops={(2, "DATA", 3), (2, "DATA", 9)})
+    assert proto.all_complete()
+    assert len(sent["nacks"]) == 1
+    _, _, llc, needed = sent["nacks"][0]
+    assert llc == 2 and needed == 2
+    assert [f[2] for f in sent["fec"]] == [16, 17]
+
+
+def test_lost_repair_triggers_rerequest():
+    """The first repair toward leaf 2 is also lost: the receiver must ask
+    again and the second repair completes the group."""
+    proto, sent = scripted_session(
+        drops={(2, "DATA", 4), (2, "FEC", 0), (1, "FEC", 0)},
+        until=60.0,
+    )
+    assert proto.all_complete()
+    assert len(sent["nacks"]) >= 2
+    assert len(sent["fec"]) >= 2
+    # At least two distinct identities flowed (the paper's identity scheme
+    # minimizes — but cannot eliminate — duplicates from racing repairers).
+    identities = {f[2] for f in sent["fec"]}
+    assert len(identities) >= 2
+
+
+def test_worse_receiver_overrides_suppression():
+    """Leaf 3 loses two packets where leaf 2 loses one: after 2's NACK sets
+    ZLC=1, 3 (llc=2 > 1) must still speak."""
+    proto, sent = scripted_session(
+        drops={(2, "DATA", 5), (3, "DATA", 5), (3, "DATA", 6)},
+        until=60.0,
+    )
+    assert proto.all_complete()
+    nackers = {src for (src, _, _, _) in sent["nacks"]}
+    assert 3 in nackers
+    max_llc = max(llc for (_, _, llc, _) in sent["nacks"])
+    assert max_llc == 2
+
+
+def test_zone_scoped_repair_comes_from_zone_member():
+    """With a zone around {1,2,3}, a loss on leaf 2's access link is
+    repaired by a zone member (hub 1 or leaf 3), never by the source."""
+    sim = Simulator(seed=2)
+    net = Network(sim)
+    for _ in range(4):
+        net.add_node()
+    net.add_link(0, 1, 10e6, 0.010)
+    net.add_link(1, 2, 10e6, 0.020)
+    net.add_link(1, 3, 10e6, 0.020)
+    h = ZoneHierarchy()
+    root = h.add_root(range(4), name="Z0")
+    h.add_zone(root.zone_id, {1, 2, 3}, name="edge")
+    cfg = SharqfecConfig(n_packets=16, injection=False)
+    proto = SharqfecProtocol(net, cfg, 0, [1, 2, 3], h)
+    net.loss_oracle = LossScript({(2, "DATA", 4)})
+    repairers = []
+    original = net.multicast
+
+    def spy(src, pkt):
+        if isinstance(pkt, FecPdu):
+            repairers.append(src)
+        return original(src, pkt)
+
+    net.multicast = spy
+    proto.start(1.0, 8.0)  # extra settling so the zone has its ZCR
+    sim.run(until=40.0)
+    assert proto.all_complete()
+    assert repairers, "the loss must be repaired"
+    assert 0 not in repairers, "repairs stay inside the zone"

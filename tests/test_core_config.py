@@ -1,0 +1,80 @@
+"""Tests for SHARQFEC configuration and variant naming."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SharqfecConfig
+from repro.errors import ConfigError
+
+
+def test_paper_defaults():
+    cfg = SharqfecConfig()
+    assert cfg.group_size == 16
+    assert cfg.packet_size == 1000
+    assert cfg.data_rate_bps == 800e3
+    assert cfg.n_packets == 1024
+    assert (cfg.c1, cfg.c2, cfg.d1, cfg.d2) == (2.0, 2.0, 1.0, 1.0)
+    assert cfg.ewma_keep == 0.75
+
+
+def test_inter_packet_interval():
+    cfg = SharqfecConfig()
+    # 1000 bytes at 800 kbit/s = 10 ms -> 100 packets/s (§6.2).
+    assert cfg.inter_packet_interval == pytest.approx(0.010)
+
+
+def test_n_groups_and_tail_group():
+    cfg = SharqfecConfig(n_packets=100, group_size=16)
+    assert cfg.n_groups == 7
+    assert cfg.group_k(0) == 16
+    assert cfg.group_k(6) == 4  # 100 - 6*16
+    with pytest.raises(ConfigError):
+        cfg.group_k(7)
+    with pytest.raises(ConfigError):
+        cfg.group_k(-1)
+
+
+def test_exact_multiple_has_full_tail():
+    cfg = SharqfecConfig(n_packets=64, group_size=16)
+    assert cfg.n_groups == 4
+    assert cfg.group_k(3) == 16
+
+
+def test_repair_spacing_is_half_ipt():
+    cfg = SharqfecConfig()
+    assert cfg.repair_spacing == pytest.approx(0.005)
+
+
+def test_variant_flags_and_names():
+    cfg = SharqfecConfig()
+    assert cfg.variant_name() == "SHARQFEC"
+    ns = cfg.variant(scoping=False)
+    assert ns.variant_name() == "SHARQFEC(ns)"
+    nsni = cfg.variant(scoping=False, injection=False)
+    assert nsni.variant_name() == "SHARQFEC(ns,ni)"
+    ecsrm = cfg.ecsrm()
+    assert ecsrm.variant_name() == "SHARQFEC(ns,ni,so)"
+    assert not ecsrm.scoping and not ecsrm.injection and ecsrm.sender_only
+    # The original is untouched.
+    assert cfg.scoping and cfg.injection and not cfg.sender_only
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"group_size": 0},
+        {"packet_size": 0},
+        {"data_rate_bps": 0},
+        {"n_packets": 0},
+        {"ewma_keep": 1.0},
+        {"ewma_keep": -0.1},
+        {"c1": -1},
+        {"escalation_attempts": 0},
+        {"session_interval": (0.0, 1.0)},
+        {"session_interval": (2.0, 1.0)},
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ConfigError):
+        SharqfecConfig(**kwargs)

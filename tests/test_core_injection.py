@@ -1,0 +1,65 @@
+"""Tests for the EWMA redundancy predictor."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.injection import EwmaPredictor
+from repro.errors import ConfigError
+
+
+def test_paper_coefficients():
+    p = EwmaPredictor(keep=0.75)
+    p.update(4)
+    assert p.predict() == pytest.approx(1.0)  # 0.75*0 + 0.25*4
+    p.update(4)
+    assert p.predict() == pytest.approx(1.75)
+
+
+def test_converges_to_constant_input():
+    p = EwmaPredictor(keep=0.75)
+    for _ in range(100):
+        p.update(3)
+    assert p.predict() == pytest.approx(3.0, abs=1e-6)
+
+
+def test_decays_toward_zero():
+    """'The number of FEC packets injected ... decays over time' (§4)."""
+    p = EwmaPredictor(keep=0.75, initial=8.0)
+    values = []
+    for _ in range(10):
+        values.append(p.update(0))
+    assert values == sorted(values, reverse=True)
+    assert values[-1] < 0.5
+
+
+def test_predict_packets_rounds():
+    p = EwmaPredictor(keep=0.0)
+    p.update(2.4)
+    assert p.predict_packets() == 2
+    p.update(2.6)
+    assert p.predict_packets() == 3
+    p.update(0.0)
+    assert p.predict_packets() == 0
+
+
+def test_negative_sample_rejected():
+    with pytest.raises(ConfigError):
+        EwmaPredictor().update(-1)
+
+
+def test_invalid_keep_rejected():
+    with pytest.raises(ConfigError):
+        EwmaPredictor(keep=1.0)
+    with pytest.raises(ConfigError):
+        EwmaPredictor(keep=-0.5)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50))
+def test_prediction_bounded_by_observed_range(samples):
+    p = EwmaPredictor(keep=0.75)
+    for s in samples:
+        p.update(s)
+    assert 0.0 <= p.predict() <= max(samples) + 1e-9

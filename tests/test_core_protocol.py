@@ -1,0 +1,216 @@
+"""Integration tests for the SHARQFEC protocol end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SharqfecConfig
+from repro.core.protocol import SharqfecProtocol
+from repro.errors import ConfigError
+from repro.net.monitor import TrafficMonitor
+from repro.net.network import Network
+from repro.scoping.zone import ZoneHierarchy
+from repro.sim.scheduler import Simulator
+from repro.topology.builders import build_star
+from repro.topology.figure10 import build_figure10
+
+
+def run_sharqfec(topo_or_net, config, source, receivers, hierarchy=None, until=40.0):
+    net = getattr(topo_or_net, "network", topo_or_net)
+    proto = SharqfecProtocol(net, config, source, receivers, hierarchy)
+    proto.start(session_start=1.0, data_start=6.0)
+    net.sim.run(until=until)
+    return proto
+
+
+def test_lossless_delivery_no_nacks():
+    sim = Simulator(seed=1)
+    net = build_star(sim, n_leaves=4)
+    cfg = SharqfecConfig(n_packets=32, injection=False)
+    proto = run_sharqfec(net, cfg, 0, [1, 2, 3, 4])
+    assert proto.all_complete()
+    assert proto.total_nacks_sent() == 0
+
+
+def test_reliable_delivery_under_loss_flat():
+    sim = Simulator(seed=2)
+    net = build_star(sim, n_leaves=4, loss_rate=0.15)
+    cfg = SharqfecConfig(n_packets=64, scoping=False)
+    proto = run_sharqfec(net, cfg, 0, [1, 2, 3, 4], until=60.0)
+    assert proto.all_complete(), proto.incomplete_receivers()
+
+
+@pytest.mark.parametrize("variant", ["SHARQFEC", "ns", "ni", "ns,ni", "ns,ni,so"])
+def test_figure10_full_recovery_all_variants(variant):
+    sim = Simulator(seed=3)
+    topo = build_figure10(sim)
+    flags = set(variant.split(",")) if variant != "SHARQFEC" else set()
+    cfg = SharqfecConfig(
+        n_packets=48,
+        scoping="ns" not in flags,
+        injection="ni" not in flags,
+        sender_only="so" in flags,
+    )
+    proto = run_sharqfec(
+        topo, cfg, topo.source, topo.receivers, topo.hierarchy, until=45.0
+    )
+    assert proto.all_complete(), (
+        f"{variant}: incomplete receivers {proto.incomplete_receivers()[:5]}"
+    )
+
+
+def test_repairs_localized_by_scoping():
+    """Scoping confines the repairs for *in-zone* loss to that zone.
+
+    Figure 10's trees share identical in-tree loss rates, so we heat one
+    tree's internal links (20%/10% instead of 8%/4%).  Under scoping its
+    extra repairs are zone-local: its leaves see far more FEC than a
+    cool tree's.  Without scoping every receiver eats the same global
+    repair stream (the cool tree actually sees slightly more of it, losing
+    less of it to its own links).
+    """
+
+    def fec_ratio(scoping, seed=4):
+        sim = Simulator(seed=seed)
+        topo = build_figure10(sim)
+        hot = topo.heads[1]   # cleanest backbone: in-tree loss dominates
+        cool = topo.heads[2]
+        for child in topo.children[hot]:
+            topo.network.set_link_loss(hot, child, 0.20)
+            for gc in topo.grandchildren[child]:
+                topo.network.set_link_loss(child, gc, 0.10)
+        monitor = TrafficMonitor()
+        topo.network.add_observer(monitor)
+        cfg = SharqfecConfig(n_packets=64, scoping=scoping)
+        proto = run_sharqfec(
+            topo, cfg, topo.source, topo.receivers,
+            topo.hierarchy if scoping else None, until=50.0,
+        )
+        assert proto.all_complete()
+        hot_leafs = [
+            gc for child in topo.children[hot] for gc in topo.grandchildren[child]
+        ]
+        cool_leafs = [
+            gc for child in topo.children[cool] for gc in topo.grandchildren[child]
+        ]
+        hot_fec = sum(monitor.total(["FEC"], node=n) for n in hot_leafs) / len(hot_leafs)
+        cool_fec = sum(monitor.total(["FEC"], node=n) for n in cool_leafs) / len(cool_leafs)
+        return hot_fec / max(cool_fec, 1e-9)
+
+    scoped = fec_ratio(True)
+    nonscoped = fec_ratio(False)
+    assert scoped > 1.25, f"hot tree should see more repairs (got {scoped:.2f}x)"
+    assert scoped > nonscoped + 0.3, (
+        f"scoping should skew repairs toward loss: {scoped:.2f}x vs {nonscoped:.2f}x"
+    )
+
+
+def test_nonscoped_variant_floods_everyone():
+    sim = Simulator(seed=4)
+    topo = build_figure10(sim)
+    monitor = TrafficMonitor()
+    topo.network.add_observer(monitor)
+    cfg = SharqfecConfig(n_packets=64, scoping=False)
+    proto = run_sharqfec(topo, cfg, topo.source, topo.receivers, None)
+    assert proto.all_complete()
+    a = monitor.total(["FEC"], node=topo.leaf_receivers[0])
+    b = monitor.total(["FEC"], node=topo.leaf_receivers[-1])
+    # Same (global) repair stream modulo each receiver's own link loss.
+    assert a > 0 and b > 0
+    assert abs(a - b) < 0.5 * max(a, b)
+
+
+def test_sender_only_variant_has_no_peer_repairs():
+    sim = Simulator(seed=5)
+    topo = build_figure10(sim)
+    cfg = SharqfecConfig(n_packets=48, scoping=False, injection=False, sender_only=True)
+    proto = run_sharqfec(topo, cfg, topo.source, topo.receivers, None, until=45.0)
+    assert proto.all_complete()
+    for receiver in proto.receivers.values():
+        assert all(s.repairs_sent == 0 for s in receiver.groups.values()), (
+            "receivers must not repair under sender-only"
+        )
+
+
+def test_injection_reduces_nacks_under_scoping():
+    """Preemptive FEC answers losses before requests are voiced (§4).
+
+    The EWMA predictors need a few dozen groups of loss history before
+    their injections anticipate demand, so a short stream shows no effect;
+    at 512 packets (32 groups) the reduction is unambiguous (at the paper's
+    1024 it is ~30%).
+    """
+
+    def nacks(injection, seed=6, n_packets=512):
+        sim = Simulator(seed=seed)
+        topo = build_figure10(sim)
+        cfg = SharqfecConfig(n_packets=n_packets, injection=injection)
+        proto = SharqfecProtocol(
+            topo.network, cfg, topo.source, topo.receivers, topo.hierarchy
+        )
+        proto.start(1.0, 6.0)
+        sim.run(until=6.0 + n_packets * cfg.inter_packet_interval + 15.0)
+        assert proto.all_complete()
+        return proto.total_nacks_sent()
+
+    assert nacks(True) < nacks(False)
+
+
+def test_group_payload_math_matches_simulation():
+    """The identity-counting shortcut equals real FEC decodability."""
+    from repro.fec.codec import ErasureCodec
+
+    sim = Simulator(seed=9)
+    net = build_star(sim, n_leaves=2, loss_rate=0.2)
+    cfg = SharqfecConfig(n_packets=32, scoping=False)
+    proto = run_sharqfec(net, cfg, 0, [1, 2], until=60.0)
+    assert proto.all_complete()
+    codec = ErasureCodec(cfg.group_size)
+    for receiver in proto.receivers.values():
+        for state in receiver.groups.values():
+            assert codec.can_decode(sorted(state.indices)) == state.complete
+
+
+def test_completion_fraction_and_stats():
+    sim = Simulator(seed=10)
+    topo = build_figure10(sim)
+    cfg = SharqfecConfig(n_packets=32)
+    proto = SharqfecProtocol(
+        topo.network, cfg, topo.source, topo.receivers, topo.hierarchy
+    )
+    proto.start()
+    assert proto.completion_fraction() == 0.0
+    sim.run(until=40.0)
+    assert proto.completion_fraction() == 1.0
+    assert proto.incomplete_receivers() == []
+    assert proto.variant_name() == "SHARQFEC"
+    assert proto.data_end_time(6.0) == pytest.approx(6.0 + 32 * 0.01)
+
+
+def test_source_must_be_covered_by_hierarchy():
+    sim = Simulator(seed=11)
+    net = build_star(sim, n_leaves=3)
+    h = ZoneHierarchy()
+    h.add_root({1, 2, 3})  # source 0 missing
+    with pytest.raises(ConfigError):
+        SharqfecProtocol(net, SharqfecConfig(), 0, [1, 2, 3], h)
+
+
+def test_session_needs_receivers():
+    sim = Simulator(seed=12)
+    net = build_star(sim, n_leaves=1)
+    with pytest.raises(ConfigError):
+        SharqfecProtocol(net, SharqfecConfig(), 0, [])
+
+
+def test_deterministic_given_seed():
+    def run(seed):
+        sim = Simulator(seed=seed)
+        topo = build_figure10(sim)
+        cfg = SharqfecConfig(n_packets=32)
+        proto = run_sharqfec(
+            topo, cfg, topo.source, topo.receivers, topo.hierarchy, until=20.0
+        )
+        return proto.total_nacks_sent(), proto.completion_fraction()
+
+    assert run(13) == run(13)

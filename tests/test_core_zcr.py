@@ -1,0 +1,143 @@
+"""ZCR election tests, including the paper's Figure 9 chain and fork cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SharqfecConfig
+from repro.core.protocol import SharqfecProtocol
+from repro.net.network import Network
+from repro.scoping.zone import ZoneHierarchy
+from repro.sim.scheduler import Simulator
+from repro.topology.figure10 import build_figure10
+
+
+def run_election(net, hierarchy, source, receivers, until=20.0, seed=3):
+    config = SharqfecConfig(n_packets=16)
+    proto = SharqfecProtocol(net, config, source, receivers, hierarchy)
+    net.sim.at(1.0, proto._start_sessions)
+    net.sim.run(until=until)
+    return proto
+
+
+def elected_zcr(proto, zone_id):
+    """The zone members' consensus view (None if they disagree)."""
+    views = set()
+    for zone in proto.hierarchy.zones():
+        if zone.zone_id != zone_id:
+            continue
+        for node in zone.nodes:
+            if node in proto.receivers:
+                views.add(proto.receivers[node].session.zcr_ids.get(zone_id))
+    if len(views) == 1:
+        return views.pop()
+    return None
+
+
+def test_chain_case_elects_nearest():
+    """Fig 9 left: chain 0-1-2-3; zone {1,2,3}: node 1 is closest to 0."""
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    for _ in range(4):
+        net.add_node()
+    for a in range(3):
+        net.add_link(a, a + 1, 10e6, 0.020)
+    h = ZoneHierarchy()
+    root = h.add_root(range(4), name="Z0")
+    zone = h.add_zone(root.zone_id, {1, 2, 3}, name="chain")
+    proto = run_election(net, h, 0, [1, 2, 3])
+    assert elected_zcr(proto, zone.zone_id) == 1
+
+
+def test_fork_case_elects_nearest():
+    """Fig 9 right: fork point 1 under source 0, with leaves on branches.
+
+    The zone contains the fork node (zones include their border router);
+    the fork node is nearest to the parent ZCR and must win.
+    """
+    sim = Simulator(seed=2)
+    net = Network(sim)
+    for _ in range(5):
+        net.add_node()
+    net.add_link(0, 1, 10e6, 0.030)
+    net.add_link(1, 2, 10e6, 0.010)
+    net.add_link(1, 3, 10e6, 0.040)
+    net.add_link(1, 4, 10e6, 0.080)
+    h = ZoneHierarchy()
+    root = h.add_root(range(5), name="Z0")
+    zone = h.add_zone(root.zone_id, {1, 2, 3, 4}, name="fork")
+    proto = run_election(net, h, 0, [1, 2, 3, 4])
+    assert elected_zcr(proto, zone.zone_id) == 1
+
+
+def test_deep_chain_two_levels():
+    """Nested zones in a chain elect their closest members level by level."""
+    sim = Simulator(seed=3)
+    net = Network(sim)
+    for _ in range(6):
+        net.add_node()
+    for a in range(5):
+        net.add_link(a, a + 1, 10e6, 0.020)
+    h = ZoneHierarchy()
+    root = h.add_root(range(6), name="Z0")
+    outer = h.add_zone(root.zone_id, {1, 2, 3, 4, 5}, name="outer")
+    inner = h.add_zone(outer.zone_id, {3, 4, 5}, name="inner")
+    proto = run_election(net, h, 0, [1, 2, 3, 4, 5], until=25.0)
+    assert elected_zcr(proto, outer.zone_id) == 1
+    assert elected_zcr(proto, inner.zone_id) == 3
+
+
+def test_figure10_elects_heads_and_children():
+    """On the paper's topology every tree zone elects its head and every
+    child zone its child node — 'the closest receiver in the zone' (§5.2)."""
+    sim = Simulator(seed=4)
+    topo = build_figure10(sim, lossless=True)
+    proto = run_election(
+        topo.network, topo.hierarchy, topo.source, topo.receivers, until=12.0
+    )
+    for head in topo.heads:
+        agent = proto.receivers[head]
+        tree_zone = [z for z in agent.session.chain if z.level == 1][0]
+        assert agent.session.zcr_ids.get(tree_zone.zone_id) == head
+    for head in topo.heads:
+        for child in topo.children[head]:
+            agent = proto.receivers[child]
+            child_zone = agent.session.chain[0]
+            assert agent.session.zcr_ids.get(child_zone.zone_id) == child
+
+
+def test_zcr_failure_recovers_via_watchdog():
+    """When the elected ZCR dies, the zone elects a replacement (§3.2's
+    robustness argument)."""
+    sim = Simulator(seed=5)
+    net = Network(sim)
+    for _ in range(4):
+        net.add_node()
+    for a in range(3):
+        net.add_link(a, a + 1, 10e6, 0.020)
+    h = ZoneHierarchy()
+    root = h.add_root(range(4), name="Z0")
+    zone = h.add_zone(root.zone_id, {1, 2, 3}, name="chain")
+    proto = run_election(net, h, 0, [1, 2, 3], until=20.0)
+    assert elected_zcr(proto, zone.zone_id) == 1
+    # Kill node 1's agent: it stops sending sessions and challenges.
+    proto.receivers[1].stop()
+    sim.run(until=60.0)
+    survivor_views = {
+        proto.receivers[n].session.zcr_ids.get(zone.zone_id) for n in (2, 3)
+    }
+    assert survivor_views == {2}, "node 2 (next closest) should take over"
+
+
+def test_election_is_deterministic_per_seed():
+    def run(seed):
+        sim = Simulator(seed=seed)
+        topo = build_figure10(sim, lossless=True)
+        proto = run_election(
+            topo.network, topo.hierarchy, topo.source, topo.receivers,
+            until=10.0, seed=seed,
+        )
+        agent = proto.receivers[topo.heads[0]]
+        return dict(agent.session.zcr_ids)
+
+    assert run(7) == run(7)

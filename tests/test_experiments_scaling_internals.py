@@ -1,0 +1,42 @@
+"""Tests for the session-scaling experiment's hierarchy construction."""
+
+from __future__ import annotations
+
+from repro.experiments.session_scaling import _tree_hierarchy
+from repro.sim.scheduler import Simulator
+from repro.topology.builders import build_tree
+
+
+def test_tree_hierarchy_partitions_subtrees():
+    sim = Simulator()
+    net, levels = build_tree(sim, depth=3, fanout=3)
+    hierarchy = _tree_hierarchy(levels)
+    hierarchy.validate()
+    # One level-1 zone per root child, each covering that whole subtree.
+    level1 = [z for z in hierarchy.zones() if z.level == 1]
+    assert len(level1) == 3
+    per_subtree = (len([n for lvl in levels[1:] for n in lvl])) // 3
+    for zone in level1:
+        assert len(zone.nodes) == per_subtree
+    # Deep trees get grandchild zones too.
+    level2 = [z for z in hierarchy.zones() if z.level == 2]
+    assert len(level2) == 9
+    for zone in level2:
+        assert len(zone.nodes) == 1 + 3  # grandchild + its children
+
+
+def test_tree_hierarchy_shallow_tree_single_level():
+    sim = Simulator()
+    net, levels = build_tree(sim, depth=2, fanout=2)
+    hierarchy = _tree_hierarchy(levels)
+    hierarchy.validate()
+    assert hierarchy.depth() == 2  # root + subtree zones only
+
+
+def test_every_nonroot_node_is_in_a_subtree_zone():
+    sim = Simulator()
+    net, levels = build_tree(sim, depth=3, fanout=2)
+    hierarchy = _tree_hierarchy(levels)
+    for node in (n for lvl in levels[1:] for n in lvl):
+        chain = hierarchy.chain_for(node)
+        assert len(chain) >= 2, f"node {node} only in the root zone"

@@ -1,0 +1,94 @@
+"""Unit tests for the traffic monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.monitor import PacketEvent, TrafficMonitor
+
+
+def ev(time, node, kind="DATA", size=1000, subscriber=True):
+    return PacketEvent(time, node, kind, size, subscriber)
+
+
+def test_bins_accumulate_per_interval():
+    mon = TrafficMonitor(bin_width=0.1)
+    mon.on_receive(ev(0.01, 1))
+    mon.on_receive(ev(0.09, 1))
+    mon.on_receive(ev(0.15, 1))
+    assert mon.series(["DATA"], 1) == [2, 1]
+
+
+def test_non_subscriber_arrivals_excluded_by_default():
+    mon = TrafficMonitor()
+    mon.on_receive(ev(0.0, 1, subscriber=False))
+    assert mon.total(["DATA"]) == 0
+    forwarding = TrafficMonitor(count_forwarding=True)
+    forwarding.on_receive(ev(0.0, 1, subscriber=False))
+    assert forwarding.total(["DATA"]) == 1
+
+
+def test_series_merges_kinds():
+    mon = TrafficMonitor(bin_width=0.1)
+    mon.on_receive(ev(0.05, 1, kind="DATA"))
+    mon.on_receive(ev(0.05, 1, kind="FEC"))
+    mon.on_receive(ev(0.05, 1, kind="NACK"))
+    assert mon.series(["DATA", "FEC"], 1) == [2]
+    assert mon.series(["NACK"], 1) == [1]
+
+
+def test_series_pads_to_t_end():
+    mon = TrafficMonitor(bin_width=0.1)
+    mon.on_receive(ev(0.05, 1))
+    assert mon.series(["DATA"], 1, t_end=0.5) == [1, 0, 0, 0, 0]
+
+
+def test_empty_series():
+    mon = TrafficMonitor()
+    assert mon.series(["DATA"], 1) == []
+    assert mon.series(["DATA"], 1, t_end=0.3) == [0, 0, 0]
+
+
+def test_mean_series_averages_over_nodes():
+    mon = TrafficMonitor(bin_width=0.1)
+    mon.on_receive(ev(0.05, 1))
+    mon.on_receive(ev(0.05, 1))
+    mon.on_receive(ev(0.05, 2))
+    assert mon.mean_series(["DATA"], [1, 2]) == [1.5]
+    assert mon.mean_series(["DATA"], []) == []
+
+
+def test_totals_and_bytes():
+    mon = TrafficMonitor()
+    mon.on_receive(ev(0.0, 1, size=100))
+    mon.on_receive(ev(0.0, 2, size=200))
+    assert mon.total(["DATA"]) == 2
+    assert mon.total(["DATA"], node=2) == 1
+    assert mon.total_bytes(["DATA"]) == 300
+    assert mon.total_bytes(["DATA"], node=1) == 100
+
+
+def test_sends_and_drops_counted():
+    mon = TrafficMonitor()
+    mon.on_send(ev(0.0, 0, kind="NACK"))
+    mon.on_send(ev(0.0, 0, kind="NACK"))
+    mon.on_drop(ev(0.0, 1))
+    assert mon.sends == {"NACK": 2}
+    assert mon.drops == 1
+
+
+def test_nodes_seen():
+    mon = TrafficMonitor()
+    mon.on_receive(ev(0.0, 5))
+    mon.on_receive(ev(0.0, 2))
+    assert mon.nodes_seen() == [2, 5]
+
+
+def test_bin_times_midpoints():
+    mon = TrafficMonitor(bin_width=0.1)
+    assert mon.bin_times(3) == pytest.approx([0.05, 0.15, 0.25])
+
+
+def test_invalid_bin_width():
+    with pytest.raises(ValueError):
+        TrafficMonitor(bin_width=0.0)

@@ -1,0 +1,91 @@
+"""Tests for drop-tail queueing and the network's trace emission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.sim.scheduler import Simulator
+
+
+def test_unbounded_queue_never_drops():
+    link = Link(0, 1, bandwidth_bps=8e6, latency_s=0.0)
+    for _ in range(1000):
+        assert link.transmit(0.0, 1000) is not None
+    assert link.queue_drops == 0
+
+
+def test_drop_tail_overflows_at_limit():
+    # 1 ms serialization per packet; limit 3 packets of backlog.
+    link = Link(0, 1, bandwidth_bps=8e6, latency_s=0.0, queue_limit=3)
+    results = [link.transmit(0.0, 1000) for _ in range(6)]
+    delivered = [r for r in results if r is not None]
+    assert len(delivered) == 3
+    assert link.queue_drops == 3
+    assert link.packets_dropped == 3
+
+
+def test_queue_drains_over_time():
+    link = Link(0, 1, bandwidth_bps=8e6, latency_s=0.0, queue_limit=2)
+    assert link.transmit(0.0, 1000) is not None
+    assert link.transmit(0.0, 1000) is not None
+    assert link.transmit(0.0, 1000) is None  # full
+    # 2 ms later the backlog has drained; room again.
+    assert link.transmit(0.002, 1000) is not None
+
+
+def test_invalid_queue_limit():
+    with pytest.raises(TopologyError):
+        Link(0, 1, 1e6, 0.0, queue_limit=0)
+
+
+def test_congestion_loss_in_network():
+    """A burst through a thin bottleneck loses its tail to the queue."""
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    for _ in range(3):
+        net.add_node()
+    net.add_link(0, 1, 100e6, 0.001)
+    net.add_link(1, 2, 1e6, 0.001, queue_limit=4)  # 8 ms/packet bottleneck
+    group = net.create_group("g")
+    got = []
+    net.subscribe(group.group_id, 2, got.append)
+    for _ in range(20):
+        net.multicast(0, Packet("DATA", 0, group.group_id, 1000))
+    sim.run()
+    assert 0 < len(got) < 20
+    assert net.link(1, 2).queue_drops == 20 - len(got)
+
+
+def test_tracer_emits_packet_events():
+    sim = Simulator(seed=2)
+    net = Network(sim)
+    net.add_node(), net.add_node()
+    net.add_link(0, 1, 10e6, 0.01)
+    group = net.create_group("g")
+    net.subscribe(group.group_id, 1, lambda p: None)
+    records = []
+    sim.tracer.subscribe(None, records.append)
+    net.multicast(0, Packet("DATA", 0, group.group_id, 500))
+    sim.run()
+    categories = [r.category for r in records]
+    assert categories == ["pkt.send", "pkt.recv"]
+    assert records[0].node == 0 and records[1].node == 1
+
+
+def test_tracer_emits_drops():
+    sim = Simulator(seed=3)
+    net = Network(sim)
+    net.add_node(), net.add_node()
+    net.add_link(0, 1, 10e6, 0.01, loss_rate=0.999999)
+    group = net.create_group("g")
+    net.subscribe(group.group_id, 1, lambda p: None)
+    drops = []
+    sim.tracer.subscribe("pkt.drop", drops.append)
+    for _ in range(10):
+        net.multicast(0, Packet("DATA", 0, group.group_id, 500))
+    sim.run()
+    assert len(drops) >= 9

@@ -1,0 +1,89 @@
+"""Property-based tests on simulator and hierarchy invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScopeError
+from repro.scoping.zone import ZoneHierarchy
+from repro.sim.scheduler import Simulator
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=2, max_size=30),
+    st.data(),
+)
+def test_cancelled_events_never_fire(delays, data):
+    sim = Simulator()
+    fired = []
+    events = [sim.schedule(d, lambda i=i: fired.append(i)) for i, d in enumerate(delays)]
+    to_cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(events) - 1))
+    )
+    for i in to_cancel:
+        sim.cancel(events[i])
+    sim.run()
+    assert set(fired) == set(range(len(events))) - to_cancel
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_random_nested_hierarchies_validate(data):
+    """Randomly grown hierarchies always satisfy the nesting invariants."""
+    universe = set(range(30))
+    h = ZoneHierarchy()
+    h.add_root(universe)
+    zones = [h.root]
+    for _ in range(data.draw(st.integers(min_value=0, max_value=10))):
+        parent = data.draw(st.sampled_from(zones))
+        taken = set()
+        for child_id in parent.child_ids:
+            taken |= h.zone(child_id).nodes
+        free = sorted(parent.nodes - taken)
+        if not free:
+            continue
+        size = data.draw(st.integers(min_value=1, max_value=len(free)))
+        subset = set(data.draw(st.permutations(free))[:size])
+        zones.append(h.add_zone(parent.zone_id, subset))
+    h.validate()
+    # Every node's chain walks from its smallest zone to the root.
+    for node in universe:
+        chain = h.chain_for(node)
+        assert chain[-1].is_root
+        for smaller, larger in zip(chain, chain[1:]):
+            assert smaller.nodes <= larger.nodes
+            assert node in smaller.nodes
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_simulator_runs_are_reproducible(seed):
+    def run(seed):
+        sim = Simulator(seed=seed)
+        draws = []
+        rng = sim.rng.stream("test")
+
+        def step(n):
+            draws.append(rng.random())
+            if n < 5:
+                sim.schedule(rng.random(), step, n + 1)
+
+        sim.schedule(0.1, step, 0)
+        sim.run()
+        return draws, sim.now
+
+    assert run(seed) == run(seed)

@@ -1,0 +1,93 @@
+"""Tests for the scoped channel plan over a real network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScopeError
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.scoping.channels import ScopedChannels
+from repro.scoping.zone import ZoneHierarchy
+from repro.sim.scheduler import Simulator
+
+
+@pytest.fixture
+def setup():
+    """Chain 0-1-2-3-4 with zones Z0={all}, Z1={2,3,4}, Z2={3,4}."""
+    sim = Simulator(seed=0)
+    net = Network(sim)
+    for _ in range(5):
+        net.add_node()
+    for a in range(4):
+        net.add_link(a, a + 1, 10e6, 0.01)
+    h = ZoneHierarchy()
+    z0 = h.add_root(range(5), name="Z0")
+    z1 = h.add_zone(z0.zone_id, {2, 3, 4}, name="Z1")
+    z2 = h.add_zone(z1.zone_id, {3, 4}, name="Z2")
+    channels = ScopedChannels(net, h)
+    return sim, net, h, channels, (z0, z1, z2)
+
+
+def test_channel_plan_created(setup):
+    sim, net, h, channels, (z0, z1, z2) = setup
+    # 1 data group + 2 per zone.
+    assert len(net.groups) == 1 + 2 * 3
+    assert channels.repair_group(z1.zone_id) != channels.session_group(z1.zone_id)
+
+
+def test_join_member_subscribes_full_chain(setup):
+    sim, net, h, channels, (z0, z1, z2) = setup
+    data, repair, session = [], [], []
+    chain = channels.join_member(4, data.append, repair.append, session.append)
+    assert [z.name for z in chain] == ["Z2", "Z1", "Z0"]
+    groups = net.nodes[4].groups()
+    assert channels.data_group_id in groups
+    for zone in chain:
+        assert channels.repair_group(zone.zone_id) in groups
+        assert channels.session_group(zone.zone_id) in groups
+
+
+def test_zone_repair_traffic_stays_inside_zone(setup):
+    sim, net, h, channels, (z0, z1, z2) = setup
+    inner, outer = [], []
+    channels.join_member(4, lambda p: None, inner.append, lambda p: None)
+    channels.join_member(0, lambda p: None, outer.append, lambda p: None)
+    rg2 = channels.repair_group(z2.zone_id)
+    net.multicast(3, Packet("FEC", 3, rg2, 1000))
+    sim.run()
+    assert len(inner) == 1
+    assert outer == []  # node 0 is outside Z2; the boundary holds
+
+
+def test_root_repair_traffic_reaches_everyone(setup):
+    sim, net, h, channels, (z0, z1, z2) = setup
+    got = {n: [] for n in (0, 4)}
+    for n in got:
+        channels.join_member(n, lambda p: None, got[n].append, lambda p: None)
+    rg0 = channels.repair_group(z0.zone_id)
+    net.multicast(2, Packet("FEC", 2, rg0, 1000))
+    sim.run()
+    assert len(got[0]) == 1 and len(got[4]) == 1
+
+
+def test_out_of_scope_sender_rejected(setup):
+    sim, net, h, channels, (z0, z1, z2) = setup
+    channels.join_member(4, lambda p: None, lambda p: None, lambda p: None)
+    with pytest.raises(ScopeError):
+        net.multicast(0, Packet("FEC", 0, channels.repair_group(z2.zone_id), 1000))
+
+
+def test_leave_member_unsubscribes(setup):
+    sim, net, h, channels, (z0, z1, z2) = setup
+    handlers = (lambda p: None, lambda p: None, lambda p: None)
+    channels.join_member(3, *handlers)
+    channels.leave_member(3, *handlers)
+    assert net.nodes[3].groups() == []
+
+
+def test_zone_of_group_reverse_lookup(setup):
+    sim, net, h, channels, (z0, z1, z2) = setup
+    assert channels.zone_of_group(channels.repair_group(z1.zone_id)) == z1.zone_id
+    assert channels.zone_of_group(channels.session_group(z2.zone_id)) == z2.zone_id
+    assert channels.zone_of_group(channels.data_group_id) is None

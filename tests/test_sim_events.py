@@ -1,0 +1,96 @@
+"""Unit tests for the event queue."""
+
+from __future__ import annotations
+
+from repro.sim.events import Event, EventQueue
+
+
+def test_pop_orders_by_time():
+    q = EventQueue()
+    fired = []
+    q.push(3.0, fired.append, ("c",))
+    q.push(1.0, fired.append, ("a",))
+    q.push(2.0, fired.append, ("b",))
+    while q:
+        event = q.pop()
+        event.fire()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_fires_in_schedule_order():
+    q = EventQueue()
+    fired = []
+    for tag in range(10):
+        q.push(1.0, fired.append, (tag,))
+    while q:
+        q.pop().fire()
+    assert fired == list(range(10))
+
+
+def test_cancel_skips_event():
+    q = EventQueue()
+    fired = []
+    keep = q.push(1.0, fired.append, ("keep",))
+    drop = q.push(0.5, fired.append, ("drop",))
+    q.cancel(drop)
+    assert len(q) == 1
+    while q:
+        q.pop().fire()
+    assert fired == ["keep"]
+    assert keep.time == 1.0
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    event = q.push(1.0, lambda: None)
+    q.cancel(event)
+    q.cancel(event)
+    assert len(q) == 0
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    first = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.cancel(first)
+    assert q.peek_time() == 2.0
+
+
+def test_peek_time_empty_is_none():
+    q = EventQueue()
+    assert q.peek_time() is None
+    event = q.push(1.0, lambda: None)
+    q.cancel(event)
+    assert q.peek_time() is None
+
+
+def test_pop_empty_returns_none():
+    q = EventQueue()
+    assert q.pop() is None
+
+
+def test_clear_drops_everything():
+    q = EventQueue()
+    for t in range(5):
+        q.push(float(t), lambda: None)
+    q.clear()
+    assert len(q) == 0
+    assert q.pop() is None
+
+
+def test_event_ordering_dunder():
+    a = Event(1.0, 0, lambda: None)
+    b = Event(1.0, 1, lambda: None)
+    c = Event(0.5, 2, lambda: None)
+    assert a < b
+    assert c < a
+
+
+def test_len_tracks_live_events():
+    q = EventQueue()
+    events = [q.push(float(i), lambda: None) for i in range(4)]
+    assert len(q) == 4
+    q.cancel(events[1])
+    assert len(q) == 3
+    q.pop()
+    assert len(q) == 2

@@ -1,0 +1,130 @@
+"""Unit tests for the simulator core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.scheduler import SimulationError, Simulator
+
+
+def test_clock_advances_with_events():
+    sim = Simulator()
+    times = []
+    sim.schedule(1.0, lambda: times.append(sim.now))
+    sim.schedule(2.5, lambda: times.append(sim.now))
+    end = sim.run()
+    assert times == [1.0, 2.5]
+    assert end == 2.5
+
+
+def test_run_until_horizon_stops_before_late_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    end = sim.run(until=3.0)
+    assert fired == [1]
+    assert end == 3.0
+    assert sim.pending == 1
+    # A second run picks up where the first stopped.
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_at_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(0.5, lambda: None)
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 4.0
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1]
+    assert sim.pending == 1
+
+
+def test_cancel_scheduled_event():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(1))
+    sim.cancel(event)
+    sim.run()
+    assert fired == []
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(0.001, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_step_fires_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    assert sim.step()
+    assert fired == ["a"]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_reset_clears_state():
+    sim = Simulator(seed=1)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    sim.schedule(1.0, lambda: None)
+    sim.reset(seed=2)
+    assert sim.now == 0.0
+    assert sim.pending == 0
+    assert sim.rng.seed == 2
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+
+    def recurse():
+        sim.run()
+
+    sim.schedule(0.1, recurse)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_advances_clock_even_when_idle():
+    sim = Simulator()
+    end = sim.run(until=7.0)
+    assert end == 7.0
+    assert sim.now == 7.0

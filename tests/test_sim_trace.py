@@ -1,0 +1,62 @@
+"""Unit tests for the tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.trace import Tracer
+
+
+def test_subscribe_exact_category():
+    tracer = Tracer()
+    got = []
+    tracer.subscribe("pkt.recv", got.append)
+    tracer.emit(1.0, "pkt.recv", 3, "hello")
+    tracer.emit(1.0, "pkt.send", 3, "ignored")
+    assert len(got) == 1
+    assert got[0].category == "pkt.recv"
+    assert got[0].node == 3
+    assert got[0].detail == "hello"
+
+
+def test_subscribe_all_categories():
+    tracer = Tracer()
+    got = []
+    tracer.subscribe(None, got.append)
+    tracer.emit(1.0, "a", 0)
+    tracer.emit(2.0, "b", 1)
+    assert [r.category for r in got] == ["a", "b"]
+
+
+def test_unsubscribe():
+    tracer = Tracer()
+    got = []
+    tracer.subscribe("x", got.append)
+    tracer.unsubscribe("x", got.append)
+    tracer.emit(0.0, "x", 0)
+    assert got == []
+
+
+def test_unsubscribe_unknown_raises():
+    tracer = Tracer()
+    with pytest.raises(KeyError):
+        tracer.unsubscribe("never", lambda r: None)
+
+
+def test_disabled_tracer_emits_nothing():
+    tracer = Tracer()
+    got = []
+    tracer.subscribe(None, got.append)
+    tracer.enabled = False
+    tracer.emit(0.0, "x", 0)
+    assert got == []
+
+
+def test_has_listeners():
+    tracer = Tracer()
+    assert not tracer.has_listeners("x")
+    tracer.subscribe("x", lambda r: None)
+    assert tracer.has_listeners("x")
+    assert not tracer.has_listeners("y")
+    tracer.subscribe(None, lambda r: None)
+    assert tracer.has_listeners("y")

@@ -1,0 +1,131 @@
+"""Unit-level tests for SRM agent mechanics on tiny networks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.network import Network
+from repro.sim.scheduler import Simulator
+from repro.srm.agent import SrmAgent
+from repro.srm.config import SrmConfig
+
+
+def make_pair(seed=1, loss=0.0, n_packets=16):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    net.add_node()
+    net.add_node()
+    net.add_link(0, 1, 10e6, 0.010, loss_rate=loss)
+    members = {0, 1}
+    data = net.create_group("d", scope=members).group_id
+    sess = net.create_group("s", scope=members).group_id
+    cfg = SrmConfig(n_packets=n_packets)
+    src = SrmAgent(0, sim, net, data, sess, cfg, 0, is_source=True)
+    rcv = SrmAgent(1, sim, net, data, sess, cfg, 0)
+    for agent in (src, rcv):
+        agent.join()
+    return sim, net, src, rcv
+
+
+def test_gap_detection_creates_losses():
+    sim, net, src, rcv = make_pair()
+    rcv._handle_data(0)
+    rcv._handle_data(3)
+    assert set(rcv.losses) == {1, 2}
+    assert rcv.highest_seen == 3
+
+
+def test_note_exists_tail():
+    sim, net, src, rcv = make_pair()
+    rcv._handle_data(0)
+    rcv._note_exists(4)
+    assert set(rcv.losses) == {1, 2, 3, 4}
+
+
+def test_repair_resolves_loss_and_cancels_timer():
+    sim, net, src, rcv = make_pair()
+    rcv._handle_data(0)
+    rcv._handle_data(2)
+    loss = rcv.losses[1]
+    assert loss.timer.running
+    rcv._handle_repair(1)
+    assert 1 not in rcv.losses
+    assert not loss.timer.running
+    assert 1 in rcv.received
+
+
+def test_duplicate_data_ignored():
+    sim, net, src, rcv = make_pair()
+    rcv._handle_data(0)
+    rcv._handle_data(0)
+    assert rcv.data_received == 2  # counted as traffic
+    assert len(rcv.received) == 1
+
+
+def test_request_suppression_backs_off():
+    from repro.srm.pdus import SrmRequestPdu
+
+    sim, net, src, rcv = make_pair()
+    rcv._handle_data(0)
+    rcv._handle_data(2)
+    loss = rcv.losses[1]
+    backoff_before = loss.backoff
+    expiry_before = loss.timer.expires_at
+    rcv._handle_request(SrmRequestPdu(0, rcv.data_group, 32, 1))
+    assert loss.backoff == backoff_before + 1
+    assert loss.requests_seen == 1
+    assert loss.timer.expires_at is not None
+
+
+def test_request_for_held_packet_arms_repair_timer():
+    from repro.srm.pdus import SrmRequestPdu
+
+    sim, net, src, rcv = make_pair()
+    rcv._handle_data(0)
+    rcv.rtt.observe(0, 0.02)
+    rcv._handle_request(SrmRequestPdu(0, rcv.data_group, 32, 0))
+    timer = rcv._repair_timers[0]
+    assert timer.running
+    # Within the reply window [d, 2d] of the one-way distance 0.01.
+    delay = timer.expires_at - sim.now
+    assert 0.01 <= delay <= 0.02 + 1e-9
+
+
+def test_hearing_repair_suppresses_own():
+    from repro.srm.pdus import SrmRequestPdu
+
+    sim, net, src, rcv = make_pair()
+    rcv._handle_data(0)
+    rcv._handle_request(SrmRequestPdu(0, rcv.data_group, 32, 0))
+    assert rcv._repair_timers[0].running
+    rcv._handle_repair(0)
+    assert not rcv._repair_timers[0].running
+    # Counted as a duplicate-repair event for the adaptive timers.
+    assert rcv.reply_timer_state.ave_dup > 0
+
+
+def test_request_for_unknown_seq_becomes_loss():
+    from repro.srm.pdus import SrmRequestPdu
+
+    sim, net, src, rcv = make_pair()
+    rcv._handle_request(SrmRequestPdu(0, rcv.data_group, 32, 5))
+    assert set(rcv.losses) == {0, 1, 2, 3, 4, 5}
+
+
+def test_source_never_has_losses():
+    sim, net, src, rcv = make_pair()
+    src.start_stream(0.0)
+    sim.run(until=5.0)
+    assert src.missing() == 0
+    assert not src.losses
+
+
+def test_end_to_end_pair_with_loss():
+    sim, net, src, rcv = make_pair(seed=3, loss=0.25, n_packets=32)
+    src.start_session()
+    rcv.start_session()
+    sim.at(2.0, src.start_stream, 2.0)
+    sim.run(until=40.0)
+    assert rcv.all_received()
+    assert rcv.nacks_sent > 0
+    assert src.repairs_sent > 0

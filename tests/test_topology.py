@@ -1,0 +1,120 @@
+"""Tests for topology builders, Figure 10 and the national hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.sim.scheduler import Simulator
+from repro.topology.builders import build_chain, build_star, build_tree
+from repro.topology.figure10 import (
+    BACKBONE_LOSSES,
+    CHILD_GRANDCHILD_LOSS,
+    HEAD_CHILD_LOSS,
+    build_figure10,
+)
+from repro.topology.national import NationalParams, build_national_network
+
+
+def test_chain_builder():
+    sim = Simulator()
+    net = build_chain(sim, 5, latency_s=0.01)
+    assert len(net.nodes) == 5
+    assert net.one_way_delay(0, 4) == pytest.approx(0.04)
+    with pytest.raises(TopologyError):
+        build_chain(sim, 1)
+
+
+def test_star_builder_custom_latencies():
+    sim = Simulator()
+    net = build_star(sim, 3, leaf_latencies=[0.01, 0.02, 0.03])
+    assert net.one_way_delay(0, 3) == pytest.approx(0.03)
+    with pytest.raises(TopologyError):
+        build_star(sim, 2, leaf_latencies=[0.01])
+
+
+def test_tree_builder_levels():
+    sim = Simulator()
+    net, levels = build_tree(sim, depth=2, fanout=3)
+    assert len(levels) == 3
+    assert len(levels[0]) == 1 and len(levels[1]) == 3 and len(levels[2]) == 9
+    assert len(net.nodes) == 13
+
+
+def test_figure10_node_counts():
+    sim = Simulator()
+    topo = build_figure10(sim)
+    assert len(topo.network.nodes) == 113
+    assert len(topo.receivers) == 112
+    assert len(topo.heads) == 7
+    assert len(topo.leaf_receivers) == 84
+    assert sum(len(v) for v in topo.children.values()) == 21
+
+
+def test_figure10_hierarchy_shape():
+    sim = Simulator()
+    topo = build_figure10(sim)
+    topo.hierarchy.validate()
+    assert topo.hierarchy.depth() == 3
+    assert len(topo.tree_zone_ids) == 7
+    assert len(topo.child_zone_ids) == 21
+    # Every tree zone holds 16 nodes; every child zone 5.
+    for zid in topo.tree_zone_ids:
+        assert len(topo.hierarchy.zone(zid).nodes) == 16
+    for zid in topo.child_zone_ids:
+        assert len(topo.hierarchy.zone(zid).nodes) == 5
+
+
+def test_figure10_published_loss_extremes():
+    """End-to-end losses span the paper's ~13.4%..28.3% leaf range (§6.2)."""
+    sim = Simulator()
+    topo = build_figure10(sim)
+    leaf_losses = [topo.expected_total_loss(n) for n in topo.leaf_receivers]
+    assert min(leaf_losses) == pytest.approx(0.134, abs=0.01)
+    assert max(leaf_losses) == pytest.approx(0.283, abs=0.01)
+
+
+def test_figure10_link_parameters():
+    sim = Simulator()
+    topo = build_figure10(sim)
+    net = topo.network
+    head = topo.heads[0]
+    assert net.link(topo.source, head).bandwidth_bps == 45e6
+    child = topo.children[head][0]
+    assert net.link(head, child).loss_rate == HEAD_CHILD_LOSS
+    gc = topo.grandchildren[child][0]
+    assert net.link(child, gc).loss_rate == CHILD_GRANDCHILD_LOSS
+    assert net.link(child, gc).latency_s == pytest.approx(0.020)
+
+
+def test_figure10_lossless_mode():
+    sim = Simulator()
+    topo = build_figure10(sim, lossless=True)
+    assert all(link.loss_rate == 0.0 for link in topo.network.links())
+
+
+def test_figure10_worst_best_heads():
+    sim = Simulator()
+    topo = build_figure10(sim)
+    worst_index = max(range(7), key=lambda i: BACKBONE_LOSSES[i])
+    assert topo.worst_tree_head() == topo.heads[worst_index]
+    assert topo.worst_tree_head() != topo.best_tree_head()
+
+
+def test_national_network_small_build():
+    sim = Simulator()
+    params = NationalParams(
+        regions=2, cities_per_region=2, suburbs_per_city=2, subscribers_per_suburb=3
+    )
+    nat = build_national_network(sim, params)
+    nat.hierarchy.validate()
+    # 1 source + 2 regions + 4 cities + 4*2*3 subscribers.
+    assert len(nat.network.nodes) == 1 + 2 + 4 + 24
+    assert nat.hierarchy.depth() == 4
+    assert len(nat.receivers) == 2 + 4 + 24
+
+
+def test_national_network_full_scale_refused():
+    sim = Simulator()
+    with pytest.raises(TopologyError):
+        build_national_network(sim, NationalParams())
