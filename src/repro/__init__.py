@@ -16,6 +16,10 @@ Subpackages:
 * :mod:`repro.analysis` — analytical models and traffic post-processing.
 * :mod:`repro.topology` — topology builders, including the paper's Fig 10.
 * :mod:`repro.experiments` — per-figure experiment drivers and CLI.
+* :mod:`repro.faults` — deterministic fault injection (burst loss, link
+  and node failures, zone partitions) for chaos runs.
+* :mod:`repro.testing` — machine-checked protocol invariants shared by the
+  test suite, the benchmarks and the experiment drivers.
 """
 
 from repro._version import __version__

@@ -33,3 +33,15 @@ class CodecError(ReproError):
 
 class ProtocolError(ReproError):
     """A protocol agent received a PDU that violates its state machine."""
+
+
+class FaultError(ReproError):
+    """Invalid fault-injection request (bad plan, unknown target, ...)."""
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """A protocol invariant checked by :mod:`repro.testing` was violated.
+
+    Subclasses AssertionError too, so pytest renders it as a test failure
+    and ``pytest.raises(AssertionError)`` in meta-tests keeps working.
+    """

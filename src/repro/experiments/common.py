@@ -17,6 +17,8 @@ from typing import Dict, List, Optional
 from repro.core.config import SharqfecConfig
 from repro.core.protocol import SharqfecProtocol
 from repro.errors import ConfigError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.net.monitor import TrafficMonitor
 from repro.sim.scheduler import Simulator
 from repro.srm.config import SrmConfig
@@ -138,6 +140,8 @@ def run_traffic(
     n_packets: Optional[int] = None,
     seed: int = 1,
     drain: float = 10.0,
+    fault_plan: Optional[FaultPlan] = None,
+    check_invariants: bool = False,
 ) -> TrafficRunResult:
     """Run one protocol variant on the Figure 10 topology.
 
@@ -148,6 +152,16 @@ def run_traffic(
             as transmission orders allow).
         drain: extra simulated seconds after the stream ends, letting the
             repair tail play out.
+        fault_plan: optional :class:`~repro.faults.FaultPlan` armed against
+            the run (chaos experiments); injected faults land in the trace
+            stream alongside the protocol's packet events.
+        check_invariants: assert eventual delivery for every receiver still
+            connected to the source at run end (raises
+            :class:`~repro.errors.InvariantViolation` on failure).
+            Connectivity is physical; since multicast never reroutes, a
+            plan that permanently severs a Figure 10 tree edge leaves its
+            receivers mesh-connected but undeliverable — use healing plans
+            here, or filter receivers yourself.
     """
     packets = n_packets if n_packets is not None else default_packets()
     wall_start = time.time()
@@ -155,6 +169,8 @@ def run_traffic(
     topo = build_figure10(sim)
     monitor = TrafficMonitor(bin_width=0.1)
     topo.network.add_observer(monitor)
+    if fault_plan is not None:
+        FaultInjector(topo.network, fault_plan).arm()
     data_start = DATA_START
     if protocol == "SRM":
         srm_config = SrmConfig(n_packets=packets)
@@ -178,6 +194,18 @@ def run_traffic(
         proto.stop()
         completion = proto.completion_fraction()
         nacks = proto.total_nacks_sent()
+    if check_invariants:
+        from repro.testing.invariants import (
+            assert_eventual_delivery,
+            connected_receivers,
+        )
+
+        survivors = connected_receivers(topo.network, topo.source, topo.receivers)
+        assert_eventual_delivery(
+            srm if protocol == "SRM" else proto,
+            receivers=survivors,
+            context=f"{protocol} seed={seed}",
+        )
     return TrafficRunResult(
         protocol=protocol,
         monitor=monitor,

@@ -1,0 +1,40 @@
+"""Deterministic fault injection for chaos-testing the protocols.
+
+The paper's evaluation only exercises static per-link Bernoulli loss; this
+subpackage stresses SHARQFEC the way production networks do:
+
+* :mod:`repro.faults.models` — stateful per-link loss processes, headlined
+  by the Gilbert–Elliott two-state burst model, with a time-driven
+  determinism contract (the burst schedule depends on the seed and the
+  clock, never on traffic interleaving).
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, a chainable DSL producing
+  a pure-data, replayable schedule of link failures, loss ramps, node
+  crashes and zone partitions.
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, which arms a plan
+  against a live network via cancellable simulator events and records every
+  injected fault into the trace stream (``fault.<kind>`` categories).
+
+Invariant checkers that validate runs under these faults live in
+:mod:`repro.testing.invariants`.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    DEFAULT_SLOT_S,
+    GilbertElliott,
+    clear_loss_model,
+    install_gilbert_elliott,
+    matched_gilbert_params,
+)
+from repro.faults.plan import FaultAction, FaultPlan
+
+__all__ = [
+    "DEFAULT_SLOT_S",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "GilbertElliott",
+    "clear_loss_model",
+    "install_gilbert_elliott",
+    "matched_gilbert_params",
+]

@@ -1,0 +1,249 @@
+"""Declarative, replayable fault schedules.
+
+A :class:`FaultPlan` is pure data: a time-ordered list of
+:class:`FaultAction` records built through a chainable DSL.  Plans carry no
+network references, so one plan can be armed against many runs (and both
+sides of a differential experiment), and its actions serialize cleanly into
+the trace stream for post-hoc analysis.
+
+Example::
+
+    plan = (
+        FaultPlan(name="backbone-flap")
+        .gilbert_elliott(0.0, 1, 2, p_gb=0.02, p_bg=0.2)
+        .loss_ramp(4.0, 8.0, 2, 3, 0.0, 0.25, steps=8)
+        .link_down(6.0, 1, 2)
+        .link_up(6.5, 1, 2)
+        .node_crash(7.0, 9)
+        .node_restart(7.8, 9)
+        .partition(9.0, {4, 5, 6})
+        .heal(9.6, {4, 5, 6})
+    )
+
+Arming a plan is the injector's job (:mod:`repro.faults.injector`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.errors import FaultError
+
+# Action kinds (the injector dispatches on these; they also become the
+# trace categories ``fault.<kind>``).
+LINK_DOWN = "link_down"
+LINK_UP = "link_up"
+NODE_CRASH = "node_crash"
+NODE_RESTART = "node_restart"
+SET_LOSS = "set_loss"
+PARTITION = "partition"
+HEAL = "heal"
+GILBERT_ELLIOTT = "gilbert_elliott"
+CLEAR_LOSS_MODEL = "clear_loss_model"
+
+KINDS = frozenset(
+    {
+        LINK_DOWN,
+        LINK_UP,
+        NODE_CRASH,
+        NODE_RESTART,
+        SET_LOSS,
+        PARTITION,
+        HEAL,
+        GILBERT_ELLIOTT,
+        CLEAR_LOSS_MODEL,
+    }
+)
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault event (pure data; applied by the injector)."""
+
+    time: float
+    kind: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def param_dict(self) -> Dict[str, object]:
+        """Parameters as a plain dict (params are stored sorted by key)."""
+        return dict(self.params)
+
+    def describe(self) -> str:
+        """Canonical one-liner, stable across runs (used in traces)."""
+        args = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.kind}@{self.time:g}({args})"
+
+
+def _freeze(params: Dict[str, object]) -> Tuple[Tuple[str, object], ...]:
+    frozen: List[Tuple[str, object]] = []
+    for key in sorted(params):
+        value = params[key]
+        if isinstance(value, (set, frozenset)):
+            value = tuple(sorted(value))
+        frozen.append((key, value))
+    return tuple(frozen)
+
+
+class FaultPlan:
+    """Chainable builder for a deterministic fault schedule."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._actions: List[FaultAction] = []
+
+    # ----------------------------------------------------------- primitives
+
+    def _add(self, time: float, kind: str, **params: object) -> "FaultPlan":
+        if time < 0.0:
+            raise FaultError(f"fault time must be non-negative, got {time!r}")
+        if kind not in KINDS:
+            raise FaultError(f"unknown fault kind {kind!r}")
+        self._actions.append(FaultAction(float(time), kind, _freeze(params)))
+        return self
+
+    def link_down(self, time: float, a: int, b: int, both: bool = True) -> "FaultPlan":
+        """Fail the link a↔b at ``time`` (a→b only when ``both=False``)."""
+        return self._add(time, LINK_DOWN, a=a, b=b, both=both)
+
+    def link_up(self, time: float, a: int, b: int, both: bool = True) -> "FaultPlan":
+        """Restore a previously failed link."""
+        return self._add(time, LINK_UP, a=a, b=b, both=both)
+
+    def node_crash(self, time: float, node: int) -> "FaultPlan":
+        """Crash a node: it stops delivering, forwarding and originating."""
+        return self._add(time, NODE_CRASH, node=node)
+
+    def node_restart(self, time: float, node: int) -> "FaultPlan":
+        """Restart a crashed node."""
+        return self._add(time, NODE_RESTART, node=node)
+
+    def set_loss(
+        self, time: float, a: int, b: int, rate: float, both: bool = True
+    ) -> "FaultPlan":
+        """Set the Bernoulli loss rate of a link at ``time``."""
+        if not 0.0 <= rate < 1.0:
+            raise FaultError(f"loss rate {rate!r} outside [0, 1)")
+        return self._add(time, SET_LOSS, a=a, b=b, rate=float(rate), both=both)
+
+    def loss_ramp(
+        self,
+        t_start: float,
+        t_end: float,
+        a: int,
+        b: int,
+        start_rate: float,
+        end_rate: float,
+        steps: int = 10,
+        both: bool = True,
+    ) -> "FaultPlan":
+        """Linearly ramp a link's loss rate over [t_start, t_end].
+
+        Expands at build time into ``steps`` discrete :data:`SET_LOSS`
+        actions (endpoints included), so the ramp replays identically and
+        shows up step-by-step in the trace.
+        """
+        if t_end <= t_start:
+            raise FaultError(f"ramp needs t_end > t_start, got [{t_start}, {t_end}]")
+        if steps < 2:
+            raise FaultError(f"ramp needs at least 2 steps, got {steps}")
+        for name, rate in (("start_rate", start_rate), ("end_rate", end_rate)):
+            if not 0.0 <= rate < 1.0:
+                raise FaultError(f"{name} {rate!r} outside [0, 1)")
+        for i in range(steps):
+            frac = i / (steps - 1)
+            t = t_start + frac * (t_end - t_start)
+            rate = start_rate + frac * (end_rate - start_rate)
+            self.set_loss(t, a, b, round(rate, 9), both=both)
+        return self
+
+    def partition(self, time: float, nodes: Iterable[int]) -> "FaultPlan":
+        """Cut every link crossing the boundary of ``nodes`` at ``time``.
+
+        The injector records exactly which links it downed so a matching
+        :meth:`heal` restores those and only those.
+        """
+        node_set = set(nodes)
+        if not node_set:
+            raise FaultError("partition needs a non-empty node set")
+        return self._add(time, PARTITION, nodes=node_set)
+
+    def heal(self, time: float, nodes: Iterable[int]) -> "FaultPlan":
+        """Restore the links cut by the matching :meth:`partition`."""
+        node_set = set(nodes)
+        if not node_set:
+            raise FaultError("heal needs a non-empty node set")
+        return self._add(time, HEAL, nodes=node_set)
+
+    def gilbert_elliott(
+        self,
+        time: float,
+        a: int,
+        b: int,
+        *,
+        p_gb: float,
+        p_bg: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+        slot_s: float = 0.01,
+        both: bool = True,
+    ) -> "FaultPlan":
+        """Switch a link to Gilbert–Elliott burst loss at ``time``.
+
+        Parameter validation happens eagerly (a bad plan fails at build
+        time, not mid-run); the chains themselves are created when the
+        action fires, seeded from the run's RNG registry.
+        """
+        # Construct a throwaway model purely to validate the parameters.
+        from repro.faults.models import GilbertElliott
+
+        GilbertElliott(p_gb, p_bg, loss_good, loss_bad, slot_s)
+        return self._add(
+            time,
+            GILBERT_ELLIOTT,
+            a=a,
+            b=b,
+            p_gb=float(p_gb),
+            p_bg=float(p_bg),
+            loss_good=float(loss_good),
+            loss_bad=float(loss_bad),
+            slot_s=float(slot_s),
+            both=both,
+        )
+
+    def clear_loss_model(
+        self, time: float, a: int, b: int, both: bool = True
+    ) -> "FaultPlan":
+        """Revert a link to plain Bernoulli loss at ``time``."""
+        return self._add(time, CLEAR_LOSS_MODEL, a=a, b=b, both=both)
+
+    def extend(self, other: "FaultPlan") -> "FaultPlan":
+        """Append every action of ``other`` to this plan."""
+        self._actions.extend(other._actions)
+        return self
+
+    # -------------------------------------------------------------- queries
+
+    def actions(self) -> List[FaultAction]:
+        """Actions sorted by time (stable: build order breaks ties)."""
+        return sorted(self._actions, key=lambda a: a.time)
+
+    @property
+    def last_time(self) -> float:
+        """Time of the final action (0.0 for an empty plan)."""
+        return max((a.time for a in self._actions), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __iter__(self) -> Iterator[FaultAction]:
+        return iter(self.actions())
+
+    def describe(self) -> str:
+        """Multi-line canonical rendering of the schedule."""
+        header = f"FaultPlan {self.name!r}: {len(self)} actions"
+        lines = [f"  t={a.time:9.4f}  {a.describe()}" for a in self.actions()]
+        return "\n".join([header] + lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultPlan {self.name!r} |actions|={len(self)}>"

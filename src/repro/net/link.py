@@ -12,6 +12,17 @@ A link models three effects:
 * independent Bernoulli loss per packet (skipped for ``loss_exempt``
   packets, matching §6.2 of the paper where session traffic and NACKs are
   lossless).
+
+Two fault-injection hooks extend the base model (see :mod:`repro.faults`):
+
+* ``up`` — administrative link state.  A down link loses *every* packet,
+  including ``loss_exempt`` ones: the exemption models the paper's idealized
+  lossless control channels, not immunity to physical faults.
+* ``loss_model`` — an optional stateful loss process (e.g. Gilbert–Elliott
+  burst loss) that replaces the memoryless Bernoulli draw.  Its state is
+  time-driven and advanced on *every* crossing — exempt or not — so the loss
+  schedule a run experiences is a function of the clock alone, not of how
+  much control traffic happens to be interleaved.
 """
 
 from __future__ import annotations
@@ -31,6 +42,8 @@ class Link:
         "latency_s",
         "loss_rate",
         "queue_limit",
+        "up",
+        "loss_model",
         "busy_until",
         "packets_sent",
         "packets_dropped",
@@ -64,6 +77,10 @@ class Link:
         # paper's losses "due to congestion" can be modelled causally by
         # bounding this instead of (or on top of) the Bernoulli rates.
         self.queue_limit = queue_limit
+        self.up = True
+        # Optional stateful loss process (duck-typed: ``advance_to(now)`` +
+        # ``drops(now)``); None means plain Bernoulli via ``loss_rate``.
+        self.loss_model = None
         self.busy_until = 0.0
         self.packets_sent = 0
         self.packets_dropped = 0
@@ -103,6 +120,14 @@ class Link:
         """Count a packet lost on this link (after the loss draw)."""
         self.packets_dropped += 1
 
+    def fail(self) -> None:
+        """Take the link down: every subsequent packet is lost."""
+        self.up = False
+
+    def restore(self) -> None:
+        """Bring a failed link back up."""
+        self.up = True
+
     def reset_stats(self) -> None:
         """Zero the per-link counters and the FIFO watermark."""
         self.busy_until = 0.0
@@ -113,7 +138,8 @@ class Link:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mbps = self.bandwidth_bps / 1e6
+        state = "" if self.up else " DOWN"
         return (
             f"<Link {self.src}->{self.dst} {mbps:g}Mbit "
-            f"{self.latency_s * 1e3:g}ms loss={self.loss_rate:.3f}>"
+            f"{self.latency_s * 1e3:g}ms loss={self.loss_rate:.3f}{state}>"
         )

@@ -41,10 +41,23 @@ class Network:
         self.loss_oracle: Optional[Callable[[Link, Packet], bool]] = None
 
     def _drops(self, link: Link, packet: Packet) -> bool:
+        model = link.loss_model
+        if model is not None:
+            # Advance the stateful loss process before any early return:
+            # burst-state transitions are time-driven, so the loss schedule
+            # is identical whether or not exempt session traffic (or a down
+            # link's discarded packets) is interleaved with the data.
+            model.advance_to(self.sim.now)
+        if not link.up:
+            # Physical faults trump the loss exemption: a dead link loses
+            # control traffic just like data.
+            return True
         if packet.loss_exempt:
             return False
         if self.loss_oracle is not None:
             return self.loss_oracle(link, packet)
+        if model is not None:
+            return model.drops(self.sim.now)
         return link.loss_rate > 0.0 and self._loss_rng.random() < link.loss_rate
 
     # ---------------------------------------------------------------- builders
@@ -115,6 +128,37 @@ class Network:
         if both:
             self.link(b, a).loss_rate = loss_rate
 
+    def set_link_up(self, a: int, b: int, up: bool, both: bool = True) -> None:
+        """Fail or restore the link a→b (and b→a when ``both``).
+
+        Routing and multicast trees are *not* recomputed: a down link models
+        a partition that persists until the link heals, matching how a
+        multicast tree keeps blackholing a subtree until unicast routing
+        reconverges (which we deliberately do not model).
+        """
+        self.link(a, b).up = bool(up)
+        if both:
+            self.link(b, a).up = bool(up)
+
+    def set_node_up(self, node_id: int, up: bool) -> None:
+        """Crash or restart a node (down nodes neither deliver nor forward)."""
+        try:
+            node = self.nodes[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node {node_id}") from None
+        node.up = bool(up)
+
+    def set_loss_model(self, a: int, b: int, model: object, model_ba: object = None) -> None:
+        """Install a stateful loss model on a→b (and optionally b→a).
+
+        A model must expose ``advance_to(now)`` and ``drops(now)``; pass
+        None to revert a direction to plain Bernoulli loss.  The two
+        directions need *distinct* model instances (each owns RNG state).
+        """
+        self.link(a, b).loss_model = model
+        if model_ba is not None:
+            self.link(b, a).loss_model = model_ba
+
     def _invalidate(self) -> None:
         self._topology_version += 1
         self._tree_cache.clear()
@@ -181,6 +225,10 @@ class Network:
             raise ScopeError(
                 f"node {src} cannot send on group {group.name!r}: outside scope"
             )
+        if not self.nodes[src].up:
+            # A crashed host's transmissions die at the NIC.
+            self.sim.tracer.emit(self.sim.now, "pkt.stifled", src, packet)
+            return
         children = self._tree_for(src, group)
         if self._observers:
             self._notify(
@@ -234,6 +282,16 @@ class Network:
             self.sim.at(arrival, self._arrive_multicast, packet, children, child)
 
     def _arrive_multicast(self, packet: Packet, children: Dict[int, List[int]], node: int) -> None:
+        if not self.nodes[node].up:
+            # The packet reached a crashed node: neither delivered to local
+            # handlers nor forwarded into the subtree below.
+            if self._observers:
+                self._notify(
+                    "on_drop",
+                    PacketEvent(self.sim.now, node, packet.kind, packet.size_bytes, False),
+                )
+            self.sim.tracer.emit(self.sim.now, "pkt.nodedrop", node, packet)
+            return
         group = self.groups.get(packet.group)
         is_subscriber = group is not None and node in group.subscribers
         if self._observers:
@@ -252,6 +310,9 @@ class Network:
         """Send a unicast packet hop-by-hop along the shortest path."""
         if packet.dst not in self.nodes:
             raise RoutingError(f"unknown destination {packet.dst}")
+        if not self.nodes[packet.src].up:
+            self.sim.tracer.emit(self.sim.now, "pkt.stifled", packet.src, packet)
+            return
         table = self.routing_table(packet.src)
         path = table.path_to(packet.dst)
         if self._observers:
@@ -262,6 +323,15 @@ class Network:
         self._unicast_hop(packet, path, 0)
 
     def _unicast_hop(self, packet: UnicastPacket, path: List[int], index: int) -> None:
+        if index > 0 and not self.nodes[path[index]].up:
+            # Arrived at a crashed relay (or destination): the packet dies.
+            if self._observers:
+                self._notify(
+                    "on_drop",
+                    PacketEvent(self.sim.now, path[index], packet.kind, packet.size_bytes, False),
+                )
+            self.sim.tracer.emit(self.sim.now, "pkt.nodedrop", path[index], packet)
+            return
         if index + 1 >= len(path):
             if self._observers:
                 self._notify(

@@ -17,11 +17,16 @@ DeliveryHandler = Callable[[Packet], None]
 class Node:
     """A network node identified by a small integer id."""
 
-    __slots__ = ("node_id", "name", "_handlers", "_unicast_handler")
+    __slots__ = ("node_id", "name", "up", "_handlers", "_unicast_handler")
 
     def __init__(self, node_id: int, name: Optional[str] = None) -> None:
         self.node_id = node_id
         self.name = name if name is not None else f"n{node_id}"
+        # Crash state (see repro.faults): a down node neither delivers nor
+        # forwards nor originates packets — its agents' timers keep running,
+        # but everything they transmit is swallowed at the NIC, which models
+        # a host whose network interface died and later came back.
+        self.up = True
         self._handlers: Dict[int, List[DeliveryHandler]] = {}
         self._unicast_handler: Optional[DeliveryHandler] = None
 

@@ -1,0 +1,44 @@
+"""Test-support utilities shared by the suite, benchmarks and experiments.
+
+:mod:`repro.testing.invariants` holds the machine-checked protocol
+invariants (eventual delivery, repair containment, no duplicate delivery,
+determinism-under-fixed-seed).  This package also centralizes knobs the CI
+environment tunes, like the hypothesis example budget.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.testing.invariants import (
+    REPAIR_KINDS,
+    RepairContainment,
+    TraceRecorder,
+    assert_eventual_delivery,
+    assert_no_duplicate_delivery,
+    assert_replay_identical,
+    connected_receivers,
+    incomplete_receivers,
+)
+
+__all__ = [
+    "REPAIR_KINDS",
+    "RepairContainment",
+    "TraceRecorder",
+    "assert_eventual_delivery",
+    "assert_no_duplicate_delivery",
+    "assert_replay_identical",
+    "connected_receivers",
+    "incomplete_receivers",
+    "property_max_examples",
+]
+
+
+def property_max_examples(default: int) -> int:
+    """Hypothesis example budget for the property-test files.
+
+    Local runs keep the small ``default`` so the tier-1 suite stays fast;
+    the CI hypothesis job exports ``SHARQFEC_PROP_EXAMPLES`` to search much
+    harder on the same seeded corpus.
+    """
+    return int(os.environ.get("SHARQFEC_PROP_EXAMPLES", str(default)))

@@ -1,0 +1,341 @@
+"""Reusable protocol-invariant checkers.
+
+The test suite, the chaos harness (:mod:`repro.faults`) and the experiment
+drivers all need to assert the same handful of end-to-end properties:
+
+* **eventual delivery** — every receiver that remains connected to the
+  source reconstructs every group (the protocol's core guarantee);
+* **no duplicate delivery** — the network never hands a receiver the same
+  original data packet twice;
+* **repair containment** — traffic on a zone's scoped channels is only ever
+  seen at that zone's members (the paper's localization claim, checked
+  observationally rather than trusted structurally);
+* **determinism** — a (topology, plan, seed) triple replays to a
+  byte-identical trace.
+
+All checkers raise :class:`~repro.errors.InvariantViolation` (an
+``AssertionError`` subclass) with a diagnostic message, so they slot into
+pytest and into ad-hoc experiment scripts alike.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.errors import InvariantViolation
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.sim.trace import TraceRecord
+
+#: Packet kinds that constitute repair traffic for containment accounting.
+REPAIR_KINDS = frozenset({"FEC", "REPAIR"})
+
+
+# ------------------------------------------------------------------ delivery
+
+
+def incomplete_receivers(protocol, receivers: Optional[Iterable[int]] = None) -> List[int]:
+    """Receiver ids (restricted to ``receivers`` if given) still incomplete.
+
+    Duck-typed over :class:`~repro.core.protocol.SharqfecProtocol` and
+    :class:`~repro.srm.protocol.SrmProtocol`: SHARQFEC agents answer
+    ``all_complete(n_groups)``, SRM agents ``all_received()``.
+    """
+    wanted = set(protocol.receivers) if receivers is None else set(receivers)
+    missing: List[int] = []
+    for rid in sorted(wanted):
+        agent = protocol.receivers.get(rid)
+        if agent is None:
+            raise InvariantViolation(f"node {rid} is not a receiver of this session")
+        if hasattr(agent, "all_complete"):
+            done = agent.all_complete(protocol.config.n_groups)
+        else:
+            done = agent.all_received()
+        if not done:
+            missing.append(rid)
+    return missing
+
+
+def assert_eventual_delivery(
+    protocol,
+    receivers: Optional[Iterable[int]] = None,
+    context: str = "",
+) -> None:
+    """Every (surviving) receiver fully reconstructed the stream.
+
+    Args:
+        protocol: a SHARQFEC or SRM protocol session after its run.
+        receivers: restrict the check to these receiver ids — pass the
+            still-connected subset when a fault plan permanently severs
+            part of the topology.
+        context: extra text prefixed to the failure message (seeds, plan
+            descriptions, ...).
+    """
+    missing = incomplete_receivers(protocol, receivers)
+    if missing:
+        prefix = f"{context}: " if context else ""
+        raise InvariantViolation(
+            f"{prefix}eventual delivery violated — receivers {missing} "
+            f"did not reconstruct the full stream "
+            f"(completion={protocol.completion_fraction():.3f})"
+        )
+
+
+def assert_no_duplicate_delivery(protocol, context: str = "") -> None:
+    """No receiver was handed the same original data packet twice.
+
+    SHARQFEC's source emits each data identity exactly once on the data
+    channel (repairs travel as FEC), so a receiver's count of handled DATA
+    packets must equal its count of *distinct* data identities — any excess
+    means the network layer duplicated a delivery.  Only meaningful for
+    SHARQFEC sessions (SRM repairs legitimately retransmit data).
+    """
+    for rid in sorted(protocol.receivers):
+        agent = protocol.receivers[rid]
+        if not hasattr(agent, "groups"):
+            raise InvariantViolation(
+                "duplicate-delivery check requires SHARQFEC receivers "
+                f"(receiver {rid} has no group state)"
+            )
+        distinct = sum(g.data_count for g in agent.groups.values())
+        handled = agent.data_received
+        if handled != distinct:
+            prefix = f"{context}: " if context else ""
+            raise InvariantViolation(
+                f"{prefix}duplicate delivery at receiver {rid}: handled "
+                f"{handled} DATA packets but only {distinct} distinct identities"
+            )
+
+
+# -------------------------------------------------------------- connectivity
+
+
+def connected_receivers(
+    network: Network, source: int, receiver_ids: Iterable[int]
+) -> Set[int]:
+    """Receivers currently reachable from ``source`` over up links/nodes.
+
+    Breadth-first search honoring directed link state and node crash state —
+    the "surviving receiver" set for :func:`assert_eventual_delivery` under
+    a fault plan that never heals.
+
+    Caveat: this is *physical* connectivity.  Multicast forwarding follows
+    cached source-rooted trees and never reroutes around a downed link, so
+    on topologies with redundant paths (e.g. Figure 10's head mesh) a
+    permanently severed tree edge leaves receivers "connected" here yet
+    unreachable by the session.  On such topologies, pair the eventual-
+    delivery invariant with fault plans that heal before the stream ends.
+    """
+    wanted = set(receiver_ids)
+    if source not in network.nodes or not network.nodes[source].up:
+        return set()
+    seen = {source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for link in network.links():
+            if link.src != node or not link.up:
+                continue
+            dst = link.dst
+            if dst in seen or not network.nodes[dst].up:
+                continue
+            seen.add(dst)
+            frontier.append(dst)
+    return wanted & seen
+
+
+# ---------------------------------------------------------------- containment
+
+
+class RepairContainment:
+    """Observational check that scoped traffic stays inside its zone.
+
+    Subscribes to the ``pkt.send`` / ``pkt.recv`` trace categories and, for
+    every packet addressed to a zone's repair or session channel, verifies
+    the sending/receiving node is a member of that zone.  Also tallies
+    repair-kind receptions per node, which differential tests use to show
+    SRM floods where SHARQFEC localizes.
+
+    Use as a context manager around ``sim.run``::
+
+        with RepairContainment.for_protocol(proto) as containment:
+            sim.run(until=40.0)
+        containment.assert_contained()
+    """
+
+    def __init__(self, network: Network, allowed: Dict[int, tuple]) -> None:
+        self.network = network
+        # group_id -> (zone name, frozenset of member node ids)
+        self._allowed = allowed
+        self.violations: List[str] = []
+        #: node id -> count of FEC/REPAIR packets received there.
+        self.repair_seen: Dict[int, int] = {}
+
+    @classmethod
+    def for_protocol(cls, protocol) -> "RepairContainment":
+        """Build the group→zone map from a SHARQFEC session's channel plan."""
+        allowed: Dict[int, tuple] = {}
+        hierarchy = protocol.hierarchy
+        channels = protocol.channels
+        for zone in hierarchy.zones():
+            zc = channels.for_zone(zone.zone_id)
+            members = frozenset(zone.nodes)
+            allowed[zc.repair_group_id] = (zone.name, members)
+            allowed[zc.session_group_id] = (zone.name, members)
+        root = hierarchy.root
+        allowed[channels.data_group_id] = (root.name, frozenset(root.nodes))
+        return cls(protocol.network, allowed)
+
+    # ------------------------------------------------------------- listeners
+
+    def _check(self, record: TraceRecord, verb: str) -> None:
+        packet = record.detail
+        if not isinstance(packet, Packet):
+            return
+        if verb == "recv" and packet.kind in REPAIR_KINDS:
+            self.repair_seen[record.node] = self.repair_seen.get(record.node, 0) + 1
+        entry = self._allowed.get(packet.group)
+        if entry is None:
+            return
+        zone_name, members = entry
+        if record.node not in members:
+            self.violations.append(
+                f"t={record.time:.6f}: node {record.node} {verb} "
+                f"{packet.describe()} on zone {zone_name!r} channel "
+                f"(members {sorted(members)})"
+            )
+
+    def _on_send(self, record: TraceRecord) -> None:
+        self._check(record, "send")
+
+    def _on_recv(self, record: TraceRecord) -> None:
+        self._check(record, "recv")
+
+    # -------------------------------------------------------------- lifecycle
+
+    def attach(self) -> "RepairContainment":
+        tracer = self.network.sim.tracer
+        tracer.subscribe("pkt.send", self._on_send)
+        tracer.subscribe("pkt.recv", self._on_recv)
+        return self
+
+    def detach(self) -> None:
+        tracer = self.network.sim.tracer
+        tracer.unsubscribe("pkt.send", self._on_send)
+        tracer.unsubscribe("pkt.recv", self._on_recv)
+
+    def __enter__(self) -> "RepairContainment":
+        return self.attach()
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    # ----------------------------------------------------------------- checks
+
+    def assert_contained(self, context: str = "") -> None:
+        """Raise unless every scoped packet stayed inside its zone."""
+        if self.violations:
+            prefix = f"{context}: " if context else ""
+            shown = "\n  ".join(self.violations[:10])
+            raise InvariantViolation(
+                f"{prefix}repair containment violated "
+                f"({len(self.violations)} occurrences):\n  {shown}"
+            )
+
+    def repairs_at(self, nodes: Iterable[int]) -> int:
+        """Total FEC/REPAIR receptions across ``nodes``."""
+        return sum(self.repair_seen.get(n, 0) for n in nodes)
+
+
+# --------------------------------------------------------------- determinism
+
+
+def _render_detail(detail: object) -> str:
+    if detail is None:
+        return ""
+    if isinstance(detail, Packet):
+        # Packet.describe() excludes the process-global uid on purpose:
+        # uids differ across runs and would break byte-identity.
+        return detail.describe()
+    if isinstance(detail, dict):
+        return "{" + ", ".join(f"{k}={detail[k]!r}" for k in sorted(detail)) + "}"
+    if isinstance(detail, str):
+        return detail
+    return repr(detail)
+
+
+class TraceRecorder:
+    """Captures every trace record and renders a canonical transcript.
+
+    The rendering is exact (``repr`` floats, uid-free packet descriptions),
+    so two runs of the same seeded scenario must produce byte-identical
+    strings — the determinism invariant.
+    """
+
+    def __init__(self, sim, categories: Optional[Sequence[str]] = None) -> None:
+        self.sim = sim
+        self.records: List[TraceRecord] = []
+        self._categories = list(categories) if categories is not None else None
+
+    def _on_record(self, record: TraceRecord) -> None:
+        if self._categories is not None and not any(
+            record.category.startswith(c) for c in self._categories
+        ):
+            return
+        self.records.append(record)
+
+    def attach(self) -> "TraceRecorder":
+        self.sim.tracer.subscribe(None, self._on_record)
+        return self
+
+    def detach(self) -> None:
+        self.sim.tracer.unsubscribe(None, self._on_record)
+
+    def __enter__(self) -> "TraceRecorder":
+        return self.attach()
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    def render(self) -> str:
+        """One line per record: ``time|category|node|detail`` (exact)."""
+        return "\n".join(
+            f"{r.time!r}|{r.category}|{r.node}|{_render_detail(r.detail)}"
+            for r in self.records
+        )
+
+    def count(self, category_prefix: str) -> int:
+        """Number of captured records whose category has the given prefix."""
+        return sum(1 for r in self.records if r.category.startswith(category_prefix))
+
+
+def assert_replay_identical(
+    build_and_run: Callable[[], str], runs: int = 2, context: str = ""
+) -> str:
+    """Run a scenario ``runs`` times; all transcripts must be byte-identical.
+
+    Args:
+        build_and_run: constructs a *fresh* simulator/network/protocol,
+            runs it, and returns the canonical transcript (typically
+            :meth:`TraceRecorder.render`).
+
+    Returns:
+        The common transcript.
+    """
+    transcripts = [build_and_run() for _ in range(runs)]
+    first = transcripts[0]
+    for i, other in enumerate(transcripts[1:], start=2):
+        if other != first:
+            diff_at = next(
+                (j for j, (x, y) in enumerate(zip(first, other)) if x != y),
+                min(len(first), len(other)),
+            )
+            prefix = f"{context}: " if context else ""
+            raise InvariantViolation(
+                f"{prefix}determinism violated: run 1 and run {i} transcripts "
+                f"diverge at byte {diff_at}:\n"
+                f"  run 1: ...{first[max(0, diff_at - 60) : diff_at + 60]!r}\n"
+                f"  run {i}: ...{other[max(0, diff_at - 60) : diff_at + 60]!r}"
+            )
+    return first

@@ -1,0 +1,114 @@
+"""Differential conformance under an identical seeded burst-loss schedule.
+
+SRM and SHARQFEC run on the same two-branch tree with the same
+Gilbert–Elliott burst process on branch A's access links (the GE chains are
+keyed by link endpoints and master seed, so both protocols face the same
+loss state as a function of virtual time).  The paper's localization claim
+(§3, §6.2) then becomes a checkable difference: SHARQFEC's repairs must
+stay inside branch A's zone — branch B sees *zero* repair traffic — while
+SRM floods its repairs to the whole session.  Both must still deliver the
+full stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SharqfecConfig
+from repro.core.protocol import SharqfecProtocol
+from repro.faults import install_gilbert_elliott
+from repro.net.network import Network
+from repro.scoping.zone import ZoneHierarchy
+from repro.sim.scheduler import Simulator
+from repro.srm.config import SrmConfig
+from repro.srm.protocol import SrmProtocol
+from repro.testing import RepairContainment, assert_eventual_delivery
+
+SEED = 77
+N_PACKETS = 64
+BRANCH_A = (2, 3, 4)
+BRANCH_B = (5, 6, 7)
+RECEIVERS = [1, 2, 3, 4, 5, 6, 7]
+
+
+def build_net(seed=SEED):
+    """Source 0 — hub 1 — branch heads 2 and 5, two leaves each.
+
+    Burst loss lives only on branch A's access links (2→3 and 2→4); every
+    other link is clean, so any repair traffic on branch B is flooding.
+    """
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    for _ in range(8):
+        net.add_node()
+    net.add_link(0, 1, 10e6, 0.010)
+    net.add_link(1, 2, 10e6, 0.020)
+    net.add_link(2, 3, 10e6, 0.010)
+    net.add_link(2, 4, 10e6, 0.010)
+    net.add_link(1, 5, 10e6, 0.020)
+    net.add_link(5, 6, 10e6, 0.010)
+    net.add_link(5, 7, 10e6, 0.010)
+    for leaf in (3, 4):
+        install_gilbert_elliott(
+            net, 2, leaf, p_gb=0.05, p_bg=0.25, slot_s=0.005, both=False
+        )
+    return sim, net
+
+
+def zone_hierarchy():
+    h = ZoneHierarchy()
+    root = h.add_root({0, 1, 2, 3, 4, 5, 6, 7}, name="root")
+    h.add_zone(root.zone_id, set(BRANCH_A), name="A")
+    h.add_zone(root.zone_id, set(BRANCH_B), name="B")
+    return h
+
+
+def run_sharqfec():
+    sim, net = build_net()
+    config = SharqfecConfig(n_packets=N_PACKETS, injection=False)
+    proto = SharqfecProtocol(net, config, 0, RECEIVERS, zone_hierarchy())
+    with RepairContainment.for_protocol(proto) as containment:
+        proto.start(1.0, 8.0)
+        sim.run(until=60.0)
+    proto.stop()
+    return proto, containment
+
+
+def run_srm():
+    sim, net = build_net()
+    config = SrmConfig(n_packets=N_PACKETS)
+    proto = SrmProtocol(net, config, 0, RECEIVERS)
+    containment = RepairContainment(net, allowed={}).attach()
+    proto.start(1.0, 8.0)
+    sim.run(until=60.0)
+    containment.detach()
+    proto.stop()
+    return proto, containment
+
+
+def test_burst_schedule_actually_bites():
+    """The GE chain must cause losses, or the containment test is vacuous."""
+    proto, containment = run_sharqfec()
+    assert containment.repairs_at(BRANCH_A) > 0, (
+        "no repairs on branch A — the burst schedule never dropped anything"
+    )
+
+
+def test_sharqfec_repairs_stay_in_the_lossy_zone():
+    proto, containment = run_sharqfec()
+    assert_eventual_delivery(proto, context="SHARQFEC under GE bursts")
+    containment.assert_contained(context="SHARQFEC under GE bursts")
+    assert containment.repairs_at(BRANCH_B) == 0, (
+        f"branch B saw {containment.repairs_at(BRANCH_B)} repair packets "
+        "for losses it never suffered — scoping failed"
+    )
+
+
+def test_srm_floods_repairs_session_wide():
+    """Same seed, same burst schedule: SRM's repairs reach the clean branch."""
+    proto, containment = run_srm()
+    assert_eventual_delivery(proto, context="SRM under GE bursts")
+    assert containment.repairs_at(BRANCH_A) > 0
+    assert containment.repairs_at(BRANCH_B) > 0, (
+        "SRM repairs are session-global; the clean branch must see them"
+    )

@@ -15,6 +15,11 @@ from repro.core.protocol import SharqfecProtocol
 from repro.net.network import Network
 from repro.scoping.zone import ZoneHierarchy
 from repro.sim.scheduler import Simulator
+from repro.testing import (
+    RepairContainment,
+    assert_eventual_delivery,
+    assert_no_duplicate_delivery,
+)
 
 
 class LossScript:
@@ -62,7 +67,8 @@ def scripted_session(drops, n_packets=16, seed=1, until=30.0):
 
 def test_no_losses_no_protocol_traffic():
     proto, sent = scripted_session(drops=set())
-    assert proto.all_complete()
+    assert_eventual_delivery(proto)
+    assert_no_duplicate_delivery(proto)
     assert sent["nacks"] == []
     assert sent["fec"] == []
 
@@ -161,8 +167,11 @@ def test_zone_scoped_repair_comes_from_zone_member():
         return original(src, pkt)
 
     net.multicast = spy
-    proto.start(1.0, 8.0)  # extra settling so the zone has its ZCR
-    sim.run(until=40.0)
-    assert proto.all_complete()
+    with RepairContainment.for_protocol(proto) as containment:
+        proto.start(1.0, 8.0)  # extra settling so the zone has its ZCR
+        sim.run(until=40.0)
+    assert_eventual_delivery(proto)
     assert repairers, "the loss must be repaired"
     assert 0 not in repairers, "repairs stay inside the zone"
+    containment.assert_contained()
+    assert containment.repairs_at([0]) == 0, "no repair packet reaches the source"

@@ -11,6 +11,7 @@ from repro.net.monitor import TrafficMonitor
 from repro.net.network import Network
 from repro.scoping.zone import ZoneHierarchy
 from repro.sim.scheduler import Simulator
+from repro.testing import assert_eventual_delivery, assert_no_duplicate_delivery
 from repro.topology.builders import build_star
 from repro.topology.figure10 import build_figure10
 
@@ -28,7 +29,8 @@ def test_lossless_delivery_no_nacks():
     net = build_star(sim, n_leaves=4)
     cfg = SharqfecConfig(n_packets=32, injection=False)
     proto = run_sharqfec(net, cfg, 0, [1, 2, 3, 4])
-    assert proto.all_complete()
+    assert_eventual_delivery(proto)
+    assert_no_duplicate_delivery(proto)
     assert proto.total_nacks_sent() == 0
 
 
@@ -37,7 +39,8 @@ def test_reliable_delivery_under_loss_flat():
     net = build_star(sim, n_leaves=4, loss_rate=0.15)
     cfg = SharqfecConfig(n_packets=64, scoping=False)
     proto = run_sharqfec(net, cfg, 0, [1, 2, 3, 4], until=60.0)
-    assert proto.all_complete(), proto.incomplete_receivers()
+    assert_eventual_delivery(proto)
+    assert_no_duplicate_delivery(proto)
 
 
 @pytest.mark.parametrize("variant", ["SHARQFEC", "ns", "ni", "ns,ni", "ns,ni,so"])
@@ -54,9 +57,7 @@ def test_figure10_full_recovery_all_variants(variant):
     proto = run_sharqfec(
         topo, cfg, topo.source, topo.receivers, topo.hierarchy, until=45.0
     )
-    assert proto.all_complete(), (
-        f"{variant}: incomplete receivers {proto.incomplete_receivers()[:5]}"
-    )
+    assert_eventual_delivery(proto, context=variant)
 
 
 def test_repairs_localized_by_scoping():

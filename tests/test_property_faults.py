@@ -1,0 +1,137 @@
+"""Property-based chaos testing: random fault plans on random trees.
+
+Hypothesis generates a random multicast tree and a random *healing* fault
+plan (every injected fault is reverted before the stream's final packets),
+then asserts SHARQFEC's core guarantees: every still-connected receiver
+eventually reconstructs the full stream, and no receiver is handed a data
+packet twice.
+
+Faults are confined to the middle of the data stream on purpose: SHARQFEC
+carries no tail-loss advertisement (unlike SRM's session ``highest_seq``),
+so a receiver that loses *every* packet of the final group has no way to
+learn it exists.  A clean tail keeps eventual delivery a theorem rather
+than a coin flip, which is exactly what a property test needs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SharqfecConfig
+from repro.core.protocol import SharqfecProtocol
+from repro.faults import FaultPlan
+from repro.net.network import Network
+from repro.sim.scheduler import Simulator
+from repro.testing import (
+    assert_eventual_delivery,
+    assert_no_duplicate_delivery,
+    connected_receivers,
+    property_max_examples,
+)
+
+# Stream shape: 48 packets at 10 ms -> data occupies [6.0, 6.48).
+N_PACKETS = 48
+GROUP_SIZE = 8
+STREAM_START = 6.0
+STREAM_END = STREAM_START + N_PACKETS * 0.01
+# Faults start after the stream is underway and are all healed before the
+# final two groups, leaving a clean tail for tail-group detection.
+FAULT_LO = STREAM_START + 0.02
+FAULT_HI = STREAM_START + 0.30
+HEAL_BY = STREAM_START + 0.36
+
+fault_times = st.floats(
+    min_value=FAULT_LO, max_value=FAULT_HI, allow_nan=False
+)
+durations = st.floats(min_value=0.01, max_value=0.06, allow_nan=False)
+
+
+def build_tree(sim: Simulator, parents):
+    """Node 0 is the source; node i > 0 hangs off ``parents[i - 1]``."""
+    net = Network(sim)
+    for _ in range(len(parents) + 1):
+        net.add_node()
+    for child, parent in enumerate(parents, start=1):
+        net.add_link(parent, child, 10e6, 0.01)
+    return net
+
+
+def subtree_of(parents, root: int):
+    """All nodes at or below ``root`` in the tree encoded by ``parents``."""
+    nodes = {root}
+    changed = True
+    while changed:
+        changed = False
+        for child, parent in enumerate(parents, start=1):
+            if parent in nodes and child not in nodes:
+                nodes.add(child)
+                changed = True
+    return nodes
+
+
+@st.composite
+def tree_and_plan(draw):
+    n_nodes = draw(st.integers(min_value=4, max_value=8))
+    parents = [
+        draw(st.integers(min_value=0, max_value=i)) for i in range(n_nodes - 1)
+    ]
+    plan = FaultPlan("prop")
+    n_faults = draw(st.integers(min_value=1, max_value=4))
+    for _ in range(n_faults):
+        kind = draw(st.sampled_from(["link", "crash", "loss", "partition"]))
+        t = draw(fault_times)
+        end = min(t + draw(durations), HEAL_BY)
+        if kind == "link":
+            child = draw(st.integers(min_value=1, max_value=n_nodes - 1))
+            plan.link_down(t, parents[child - 1], child)
+            plan.link_up(end, parents[child - 1], child)
+        elif kind == "crash":
+            node = draw(st.integers(min_value=1, max_value=n_nodes - 1))
+            plan.node_crash(t, node)
+            plan.node_restart(end, node)
+        elif kind == "loss":
+            child = draw(st.integers(min_value=1, max_value=n_nodes - 1))
+            rate = draw(
+                st.floats(min_value=0.1, max_value=0.9, allow_nan=False)
+            )
+            plan.set_loss(t, parents[child - 1], child, rate)
+            plan.set_loss(end, parents[child - 1], child, 0.0)
+        else:
+            root = draw(st.integers(min_value=1, max_value=n_nodes - 1))
+            nodes = subtree_of(parents, root)
+            plan.partition(t, nodes)
+            plan.heal(end, nodes)
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return parents, plan, seed
+
+
+@given(tree_and_plan())
+@settings(max_examples=property_max_examples(8), deadline=None)
+def test_random_healing_faults_preserve_delivery(case):
+    parents, plan, seed = case
+    sim = Simulator(seed=seed)
+    net = build_tree(sim, parents)
+    receivers = list(range(1, len(parents) + 1))
+    from repro.faults import FaultInjector
+
+    FaultInjector(net, plan).arm()
+    config = SharqfecConfig(n_packets=N_PACKETS, group_size=GROUP_SIZE)
+    protocol = SharqfecProtocol(net, config, 0, receivers)
+    protocol.start(1.0, STREAM_START)
+    sim.run(until=90.0)
+    protocol.stop()
+
+    # Every fault healed, so every receiver must still be connected ...
+    survivors = connected_receivers(net, 0, receivers)
+    assert survivors == set(receivers), (
+        f"plan {plan.describe()} did not fully heal: "
+        f"disconnected {set(receivers) - survivors}"
+    )
+    # ... and must have reconstructed the entire stream, exactly once.
+    context = f"seed={seed} plan={plan.describe()}"
+    assert_eventual_delivery(protocol, context=context)
+    assert_no_duplicate_delivery(protocol, context=context)

@@ -16,9 +16,14 @@ from repro.core.protocol import SharqfecProtocol
 from repro.net.network import Network
 from repro.scoping.zone import ZoneHierarchy
 from repro.sim.scheduler import Simulator
+from repro.testing import (
+    assert_eventual_delivery,
+    assert_no_duplicate_delivery,
+    property_max_examples,
+)
 
 
-@settings(max_examples=8, deadline=None)
+@settings(max_examples=property_max_examples(8), deadline=None)
 @given(st.data())
 def test_random_topology_reliable_delivery(data):
     seed = data.draw(st.integers(min_value=0, max_value=10_000))
@@ -58,6 +63,6 @@ def test_random_topology_reliable_delivery(data):
     )
     protocol.start(session_start=1.0, data_start=6.0)
     sim.run(until=90.0)
-    assert protocol.all_complete(), (
-        f"seed={seed} nodes={n_nodes} incomplete={protocol.incomplete_receivers()}"
-    )
+    context = f"seed={seed} nodes={n_nodes}"
+    assert_eventual_delivery(protocol, context=context)
+    assert_no_duplicate_delivery(protocol, context=context)

@@ -10,6 +10,7 @@ from repro.net.network import Network
 from repro.sim.scheduler import Simulator
 from repro.srm.config import SrmConfig
 from repro.srm.protocol import SrmProtocol
+from repro.testing import assert_eventual_delivery
 from repro.topology.builders import build_star
 from repro.topology.figure10 import build_figure10
 
@@ -35,7 +36,7 @@ def test_reliable_delivery_under_loss():
     sim = Simulator(seed=2)
     net = build_star(sim, n_leaves=4, loss_rate=0.15)
     proto = run_srm(net, 0, [1, 2, 3, 4], until=60.0)
-    assert proto.all_complete()
+    assert_eventual_delivery(proto)
     assert proto.total_repairs_sent() > 0
 
 
@@ -46,7 +47,7 @@ def test_figure10_full_recovery():
     proto = SrmProtocol(topo.network, config, topo.source, topo.receivers)
     proto.start()
     sim.run(until=40.0)
-    assert proto.all_complete(), f"incomplete: {proto.incomplete_receivers()}"
+    assert_eventual_delivery(proto, context="figure10")
 
 
 def test_receivers_repair_each_other():
