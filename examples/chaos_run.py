@@ -2,9 +2,11 @@
 """Chaos engineering demo: SHARQFEC rides out a storm of injected faults.
 
 A small tree suffers a congestion ramp, a flapping backbone link, a router
-reboot, a burst-lossy access link and a short zone partition — all healed
-before the stream ends.  The session still delivers every packet to every
-receiver, and the whole run replays byte-identically from its seed.
+reboot, a burst-lossy access link, a short zone partition and a receiver
+crash-restart — all healed before the stream ends.  Routing reconverges
+after every topology change, the session still delivers every packet to
+every surviving receiver within the post-heal recovery bound, and the
+whole run replays byte-identically from its seed.
 
 Run:  python examples/chaos_run.py
 """
@@ -17,7 +19,9 @@ from repro.testing import (
     TraceRecorder,
     assert_eventual_delivery,
     assert_no_duplicate_delivery,
+    assert_recovery_within,
     assert_replay_identical,
+    heal_deadline,
 )
 
 
@@ -45,11 +49,12 @@ def build_and_run() -> str:
         .partition(6.35, {3, 4, 5})                     # subtree islanded
         .heal(6.42, {3, 4, 5})
         .set_loss(6.45, 0, 1, 0.0)                      # congestion clears
+        .crash_restart(6.15, 4, down_for=0.25)          # receiver churns
     )
-    injector = FaultInjector(net, plan).arm()
 
     config = SharqfecConfig(n_packets=64, group_size=16)
     protocol = SharqfecProtocol(net, config, 0, [1, 2, 3, 4, 5])
+    injector = FaultInjector(net, plan, protocol=protocol).arm()
     with TraceRecorder(sim) as recorder:
         protocol.start(1.0, 6.0)
         sim.run(until=60.0)
@@ -57,7 +62,9 @@ def build_and_run() -> str:
 
     assert_eventual_delivery(protocol)
     assert_no_duplicate_delivery(protocol)
+    assert_recovery_within(protocol, heal_deadline(net, plan, bound=45.0))
     print(f"  faults fired : {len(injector.fired)}")
+    print(f"  reconverges  : {net.reconvergences}")
     print(f"  trace records: {len(recorder.records)}")
     print(f"  drops        : {recorder.count('pkt.drop')}")
     print(f"  completion   : {protocol.completion_fraction():.0%}")

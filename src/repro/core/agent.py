@@ -48,6 +48,12 @@ class SharqfecEndpoint:
             node_id, sim, network, channels, config, top_zcr=source_id
         )
         self.election = ZcrElection(self.session)
+        # The election owns on_zcr_change; repair-duty handoff and stream
+        # extent gossip ride their own session hooks so election dynamics
+        # stay untouched.
+        self.session.on_role_change = self._on_role_change
+        self.session.stream_extent_provider = self._stream_extent
+        self.session.on_stream_extent = self._on_stream_extent
         self.chain = self.session.chain
         self.zone_ids: List[int] = [z.zone_id for z in self.chain]
         self._zone_pos: Dict[int, int] = {zid: i for i, zid in enumerate(self.zone_ids)}
@@ -100,6 +106,41 @@ class SharqfecEndpoint:
         self.election.stop()
         for timer in self._reply_timers.values():
             timer.cancel()
+
+    def crash(self) -> None:
+        """Crash the endpoint process (alias for :meth:`stop`).
+
+        The node keeps routing; :meth:`restart` revives the agent with its
+        pre-crash group state intact, as a process restart from disk would.
+        """
+        self.stop()
+
+    def restart(self) -> None:
+        """Revive a stopped endpoint: rejoin channels, resume session/ZCR.
+
+        The base implementation restores participation only; receivers
+        additionally resynchronize their LDP/RP state (see
+        ``SharqfecReceiver.restart``).  A no-op on a running endpoint.
+        """
+        if not self._stopped:
+            return
+        self._stopped = False
+        self.join()
+        self.session.start()
+        self.election.start()
+
+    def leave(self) -> None:
+        """Depart the session cleanly: silence the agent and unsubscribe
+        every channel, so the multicast trees stop reaching this node."""
+        self.stop()
+        if self._joined:
+            self.channels.leave_member(
+                self.node_id,
+                self._on_data_channel,
+                self._on_repair_channel,
+                self._on_session_channel,
+            )
+            self._joined = False
 
     # ------------------------------------------------------------- dispatch
 
@@ -204,6 +245,31 @@ class SharqfecEndpoint:
         """Subclass hook (receivers refresh request-timer bookkeeping)."""
 
     # ----------------------------------------------------------- repair duty
+
+    def _on_role_change(self, zone_id: int) -> None:
+        """RP state handoff: a zone changed representatives.
+
+        If *we* are the newly believed ZCR, any speculative repair queue
+        for that zone must keep draining even though the NACKs that built
+        it were addressed to (and perhaps partly answered by) the dead
+        predecessor — otherwise a rep crash orphans pending repairs until
+        the requesters' backoff timers re-NACK.
+        """
+        if self._stopped or not self.session.is_zcr(zone_id):
+            return
+        if self.config.sender_only and not self.is_source:
+            return
+        for state in self.groups.values():
+            if state.outstanding.get(zone_id, 0) > 0 and self._can_repair(state):
+                self._arm_reply_timer(zone_id, state, 0.0)
+
+    def _stream_extent(self) -> int:
+        """Highest group whose data transmission is known finished (-1 if
+        unknown); advertised in session messages.  Subclasses override."""
+        return -1
+
+    def _on_stream_extent(self, group_id: int) -> None:
+        """Subclass hook: a session peer advertised the stream extent."""
 
     def _can_repair(self, state: GroupState) -> bool:
         return self.is_source or state.complete

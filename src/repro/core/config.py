@@ -86,6 +86,16 @@ class SharqfecConfig:
     # Cap on the request-timer backoff exponent (the paper does not bound i;
     # a bound keeps pathological runs finite).
     max_backoff_exponent: int = 8
+    # Bounded give-up (§7 robustness): request-timer firings for one group
+    # with *zero* new packets arriving in between before the receiver stops
+    # retrying its current zone and escalates one level.  At the top zone
+    # it keeps retrying at the capped backoff.
+    giveup_fires: int = 4
+    # Receivers/senders advertise the highest group whose data transmission
+    # finished in session messages (the SHARQFEC analogue of SRM's session
+    # ``highest_seq`` tail-loss advertisement), letting a crash-restarted
+    # or late-joining peer discover groups it never heard a packet of.
+    stream_extent_gossip: bool = True
 
     # --- wire sizes for non-data PDUs (bytes) ---
     nack_size: int = 64
@@ -111,6 +121,8 @@ class SharqfecConfig:
                 raise ConfigError(f"{name} must be non-negative")
         if self.escalation_attempts < 1:
             raise ConfigError("escalation_attempts must be >= 1")
+        if self.giveup_fires < 1:
+            raise ConfigError("giveup_fires must be >= 1")
         for name in ("session_interval", "session_fast_interval", "zcr_challenge_interval"):
             lo, hi = getattr(self, name)
             if not 0 < lo <= hi:

@@ -156,6 +156,7 @@ class SessionPdu(Packet):
         "zcr_parent_rtt",
         "zcr_epoch",
         "entries",
+        "highest_group",
     )
 
     def __init__(
@@ -169,6 +170,7 @@ class SessionPdu(Packet):
         zcr_parent_rtt: float,
         entries: Tuple[SessionEntry, ...],
         zcr_epoch: int = 0,
+        highest_group: int = -1,
     ) -> None:
         super().__init__("SESSION", src, group, size_bytes, loss_exempt=True)
         self.zone_id = zone_id
@@ -177,6 +179,10 @@ class SessionPdu(Packet):
         self.zcr_parent_rtt = zcr_parent_rtt
         self.zcr_epoch = zcr_epoch
         self.entries = entries
+        # Highest group whose data transmission is known finished, or -1:
+        # the stream-extent advertisement that lets (re)joining receivers
+        # detect wholly-missed groups (SRM session highest_seq analogue).
+        self.highest_group = highest_group
 
     def describe(self) -> str:
         return f"SESSION(zone={self.zone_id}, |entries|={len(self.entries)})"

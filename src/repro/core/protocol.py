@@ -91,13 +91,56 @@ class SharqfecProtocol:
     def _start_sessions(self) -> None:
         self.sender.start_session()
         for receiver in self.receivers.values():
-            receiver.start_session()
+            if not receiver._stopped:
+                # Deferred receivers (defer_receiver) sit out until joined.
+                receiver.start_session()
 
     def stop(self) -> None:
         """Cancel every agent timer (ends an open-ended run cleanly)."""
         self.sender.stop()
         for receiver in self.receivers.values():
             receiver.stop()
+
+    # ------------------------------------------------------------------ churn
+
+    def _receiver(self, node_id: int) -> SharqfecReceiver:
+        try:
+            return self.receivers[node_id]
+        except KeyError:
+            raise ConfigError(
+                f"node {node_id} is not a receiver of this session"
+            ) from None
+
+    def defer_receiver(self, node_id: int) -> None:
+        """Hold a receiver out of the session until :meth:`join_receiver`.
+
+        Call before :meth:`start` to model a member that joins late rather
+        than from t=0.
+        """
+        self._receiver(node_id).stop()
+
+    def join_receiver(self, node_id: int) -> None:
+        """(Re)join a deferred, crashed, or departed receiver.
+
+        The agent subscribes its scoped channels and resynchronizes via the
+        late-join/restart machinery (stream-extent gossip, scope-escalating
+        requests).
+        """
+        self._receiver(node_id).restart()
+
+    def leave_receiver(self, node_id: int) -> None:
+        """Cleanly remove a receiver: silence it and unsubscribe its
+        channels, so multicast trees stop reaching its node."""
+        self._receiver(node_id).leave()
+
+    def crash_receiver(self, node_id: int) -> None:
+        """Crash a receiver's process mid-run (its node keeps routing)."""
+        self._receiver(node_id).crash()
+
+    def restart_receiver(self, node_id: int) -> None:
+        """Restart a crashed receiver; it rebuilds LDP/RP state from the
+        scoped repair channels (see ``SharqfecReceiver.restart``)."""
+        self._receiver(node_id).restart()
 
     # ------------------------------------------------------------- statistics
 

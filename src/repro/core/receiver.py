@@ -208,6 +208,21 @@ class SharqfecReceiver(SharqfecEndpoint):
             self._suppressed_fires[group_id] = 0
         else:
             self._suppressed_fires[group_id] = fires + 1
+        # Bounded give-up: this many request windows with *zero* new packets
+        # arriving means the current zone cannot help us (e.g. its repairers
+        # all crashed) — escalate one level instead of retrying forever.
+        # ``stalled_fires`` resets on every arrival (GroupState.record_index),
+        # so ordinary suppression windows with repairs in flight never trip
+        # it.  At the top zone the retries continue at the capped backoff.
+        state.stalled_fires += 1
+        if (
+            state.stalled_fires >= self.config.giveup_fires
+            and state.attempt_zone_index < len(self.zone_ids) - 1
+        ):
+            state.attempt_zone_index += 1
+            state.attempts_at_zone = 0
+            state.stalled_fires = 0
+            state.backoff_i = 1
         self._request_timers[group_id].restart(self._request_delay(state))
 
     def _send_nack(self, state: GroupState, zone_id: int) -> None:
@@ -317,3 +332,79 @@ class SharqfecReceiver(SharqfecEndpoint):
             timer.cancel()
         for timer in self._request_timers.values():
             timer.cancel()
+
+    # ------------------------------------------------------- churn / resync
+
+    def restart(self) -> None:
+        """Crash-restart / (re)join: resume and resynchronize (§7).
+
+        Rejoins every channel, then rebuilds LDP/RP state so recovery of
+        whatever the outage swallowed proceeds through the normal scoped
+        repair machinery.
+        """
+        if not self._stopped:
+            return
+        super().restart()
+        # Pre-outage inter-packet anchors would corrupt the IPT estimate on
+        # the first post-restart arrival (the gap spans the whole outage).
+        self._last_data_time = None
+        self._last_data_seq = None
+        self._resync_groups()
+
+    def _resync_groups(self) -> None:
+        """Rebuild per-group timers after an outage.
+
+        Groups already finalized but incomplete resume requesting from a
+        fresh (capped-exponential) backoff; groups caught mid-LDP re-arm
+        their loss-detection timers.  Groups the outage hid *entirely*
+        surface later, via the stream-extent gossip or the next data
+        arrival's older-group finalization.
+        """
+        for state in self.groups.values():
+            if state.complete:
+                continue
+            state.backoff_i = 1
+            state.stalled_fires = 0
+            if state.repair_phase:
+                if state.deficit() > 0:
+                    self._ensure_request_timer(state)
+            else:
+                self._arm_ldp_timer(state)
+
+    def _stream_extent(self) -> int:
+        # Advertise the highest *reconstructed* group: completion implies
+        # the group's data emission truly ended, so the advertisement never
+        # finalizes a peer's group prematurely.  (The sender advertises its
+        # authoritative emission extent.)
+        if not self.config.stream_extent_gossip:
+            return -1
+        extent = -1
+        for gid, state in self.groups.items():
+            if gid > extent and state.complete:
+                extent = gid
+        return extent
+
+    def _on_stream_extent(self, group_id: int) -> None:
+        """A session peer advertised that groups up to ``group_id`` have
+        finished transmission: finalize any of ours still awaiting data.
+
+        This is the SHARQFEC analogue of SRM's session ``highest_seq``
+        tail-loss detection — without it, a receiver that missed *every*
+        packet of a trailing group (crash, partition) would never learn
+        the group exists.
+        """
+        if not self.config.stream_extent_gossip:
+            return
+        if not 0 <= group_id < self.config.n_groups:
+            return
+        if self._highest_group_seen < 0 and not self.config.late_join_recovery:
+            # Same baseline rule as handle_data: without late-join recovery
+            # a joiner only tracks groups from its first heard packet on.
+            return
+        start = self._highest_group_seen if self._highest_group_seen >= 0 else 0
+        if group_id < start:
+            return
+        for gid in range(start, group_id + 1):
+            self._finalize_group(self.group_state(gid))
+        if group_id > self._highest_group_seen:
+            self._highest_group_seen = group_id

@@ -27,6 +27,8 @@ class SharqfecSender(SharqfecEndpoint):
         super().__init__(*args, **kwargs)
         self.packets_sent = 0
         self.finished_at: Optional[float] = None
+        # Highest group whose data emission has finished (stream extent).
+        self._extent = -1
 
     # ------------------------------------------------------------------- CBR
 
@@ -66,6 +68,8 @@ class SharqfecSender(SharqfecEndpoint):
     def _enter_repair_phase(self, state: GroupState) -> None:
         """After the group's last data packet: queue proactive FEC (§4)."""
         state.repair_phase = True
+        if state.group_id > self._extent:
+            self._extent = state.group_id
         root_zone = self.zone_ids[-1]
         if self.config.injection:
             planned = self.predictor(root_zone).predict_packets()
@@ -78,6 +82,13 @@ class SharqfecSender(SharqfecEndpoint):
             # queued repairs in the largest scope zone" (§4).
             self._arm_reply_timer(root_zone, state, 0.0)
         self._schedule_zlc_sampling(state)
+
+    def _stream_extent(self) -> int:
+        # The authoritative advertisement: every group up to _extent has
+        # finished its data emission.
+        if not self.config.stream_extent_gossip:
+            return -1
+        return self._extent
 
     # ------------------------------------------------------------- accounting
 

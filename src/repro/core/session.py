@@ -70,6 +70,19 @@ class SessionManager:
         # that zone; the election machinery uses it to keep its timers and
         # distance measurements consistent.
         self.on_zcr_change = None  # type: ignore[assignment]
+        # Invoked with a zone_id whenever our ZCR belief for that zone
+        # changes for *any* reason (gossip adoption or election machinery).
+        # The endpoint hooks this for repair-duty handoff: a newly believed
+        # representative must resume the dead predecessor's repair pump.
+        # Kept separate from on_zcr_change, which the election owns.
+        self.on_role_change = None  # type: ignore[assignment]
+        # Optional () -> int returning the highest group whose data
+        # transmission is known finished (-1 when unknown); advertised in
+        # outgoing session messages as the stream extent.
+        self.stream_extent_provider = None  # type: ignore[assignment]
+        # Optional (group_id) -> None invoked when a peer advertises a
+        # stream extent; receivers use it for tail-loss/churn resync.
+        self.on_stream_extent = None  # type: ignore[assignment]
 
     # -------------------------------------------------------------- lifecycle
 
@@ -137,6 +150,9 @@ class SessionManager:
             for peer, (ts, recv_at) in sorted(heard.items())
         )
         zcr = self.zcr_ids.get(zone.zone_id)
+        extent = -1
+        if self.stream_extent_provider is not None:
+            extent = self.stream_extent_provider()
         pdu = SessionPdu(
             src=self.node_id,
             group=self.channels.session_group(zone.zone_id),
@@ -148,6 +164,7 @@ class SessionManager:
             zcr_parent_rtt=self._advertised_parent_rtt(zone),
             entries=entries,
             zcr_epoch=self.zcr_epoch.get(zone.zone_id, 0),
+            highest_group=extent,
         )
         self.network.multicast(self.node_id, pdu)
 
@@ -173,6 +190,8 @@ class SessionManager:
             return
         now = self.sim.now
         self.messages_received += 1
+        if pdu.highest_group >= 0 and self.on_stream_extent is not None:
+            self.on_stream_extent(pdu.highest_group)
         zone_id = pdu.zone_id
         participating = any(z.zone_id == zone_id for z in self.participation_zones())
         if participating:
@@ -220,8 +239,11 @@ class SessionManager:
                         self.zcr_ids[zone_id] = pdu.zcr_id
                         self.zcr_parent_rtt[zone_id] = pdu.zcr_parent_rtt
             after = (self.zcr_ids.get(zone_id), self.zcr_parent_rtt.get(zone_id))
-            if after != before and self.on_zcr_change is not None:
-                self.on_zcr_change(zone_id)
+            if after != before:
+                if self.on_zcr_change is not None:
+                    self.on_zcr_change(zone_id)
+                if before[0] != after[0] and self.on_role_change is not None:
+                    self.on_role_change(zone_id)
 
     # ------------------------------------------------------- distance queries
 

@@ -28,6 +28,7 @@ class GroupState:
         "backoff_i",
         "attempt_zone_index",
         "attempts_at_zone",
+        "stalled_fires",
         "outstanding",
         "fec_heard",
         "zlc_sampled",
@@ -55,6 +56,9 @@ class GroupState:
         self.backoff_i = 1
         self.attempt_zone_index = 0
         self.attempts_at_zone = 0
+        # Request-timer firings since the last new packet arrived — the
+        # give-up counter behind bounded zone escalation.
+        self.stalled_fires = 0
         # zone_id -> speculative repair queue depth (as a repairer).
         self.outstanding: Dict[int, int] = {zid: 0 for zid in zone_ids}
         # zone_id -> FEC packets heard on channels whose scope covers that
@@ -74,6 +78,7 @@ class GroupState:
         if index in self.indices:
             return False
         self.indices.add(index)
+        self.stalled_fires = 0
         if index < self.k:
             self.data_count += 1
             if index > self.max_data_index_seen:

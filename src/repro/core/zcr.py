@@ -380,7 +380,8 @@ class ZcrElection:
     ) -> None:
         was_me = self.session.is_zcr(zone_id)
         self._suspect_dead.discard(zone_id)
-        if self.session.zcr_ids.get(zone_id) != new_zcr:
+        belief_changed = self.session.zcr_ids.get(zone_id) != new_zcr
+        if belief_changed:
             # Composed raw measurements reference the old ZCR's position.
             self._raw_measure.pop(zone_id, None)
         self.session.zcr_ids[zone_id] = new_zcr
@@ -403,3 +404,8 @@ class ZcrElection:
                 challenge.cancel()
             if watchdog is not None:
                 watchdog.restart(self._watchdog_delay())
+        if belief_changed and self.session.on_role_change is not None:
+            # Repair-duty handoff (failover hardening): the endpoint learns
+            # the zone changed hands — if *we* are the new representative
+            # it must take over the dead predecessor's repair queues.
+            self.session.on_role_change(zone_id)

@@ -70,8 +70,8 @@ def run_late_join(
     data_start = 6.0
     join_at = data_start + join_fraction * n_packets * config.inter_packet_interval
     proto.start(session_start=1.0, data_start=data_start)
-    proto.receivers[joiner]._stopped = True
-    sim.at(join_at, setattr, proto.receivers[joiner], "_stopped", False)
+    proto.defer_receiver(joiner)
+    sim.at(join_at, proto.join_receiver, joiner)
 
     # Count FEC visible after the join only (recovery traffic, not the
     # session's ordinary repairs).

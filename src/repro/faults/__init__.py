@@ -26,9 +26,10 @@ from repro.faults.models import (
     install_gilbert_elliott,
     matched_gilbert_params,
 )
-from repro.faults.plan import FaultAction, FaultPlan
+from repro.faults.plan import CHURN_KINDS, FaultAction, FaultPlan
 
 __all__ = [
+    "CHURN_KINDS",
     "DEFAULT_SLOT_S",
     "FaultAction",
     "FaultInjector",

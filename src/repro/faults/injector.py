@@ -14,19 +14,24 @@ bit-identically — asserted by ``tests/test_faults_injector.py``.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.errors import FaultError
 from repro.faults.models import clear_loss_model, install_gilbert_elliott
 from repro.faults.plan import (
+    CHURN_KINDS,
     CLEAR_LOSS_MODEL,
     GILBERT_ELLIOTT,
     HEAL,
+    JOIN,
+    LEAVE,
     LINK_DOWN,
     LINK_UP,
     NODE_CRASH,
     NODE_RESTART,
     PARTITION,
+    RECEIVER_CRASH,
+    RECEIVER_RESTART,
     SET_LOSS,
     FaultAction,
     FaultPlan,
@@ -35,12 +40,23 @@ from repro.net.network import Network
 
 
 class FaultInjector:
-    """Schedules and applies one plan's actions on one network."""
+    """Schedules and applies one plan's actions on one network.
 
-    def __init__(self, network: Network, plan: FaultPlan) -> None:
+    Receiver-churn actions (``join``/``leave``/``crash_restart``) act on a
+    protocol session's agents rather than the network, so plans containing
+    them additionally need ``protocol=`` (any object with the
+    ``join_receiver``/``leave_receiver``/``crash_receiver``/
+    ``restart_receiver`` surface — both ``SharqfecProtocol`` and
+    ``SrmProtocol`` qualify).
+    """
+
+    def __init__(
+        self, network: Network, plan: FaultPlan, protocol: Optional[object] = None
+    ) -> None:
         self.network = network
         self.sim = network.sim
         self.plan = plan
+        self.protocol = protocol
         self._events: List[object] = []
         self._armed = False
         # partition node-set -> directed links this injector downed for it.
@@ -54,6 +70,18 @@ class FaultInjector:
         """Check every action's targets exist; raise FaultError otherwise."""
         for action in self.plan.actions():
             params = action.param_dict()
+            if action.kind in CHURN_KINDS:
+                if self.protocol is None:
+                    raise FaultError(
+                        f"{action.describe()}: receiver churn needs a protocol "
+                        "(FaultInjector(net, plan, protocol=...))"
+                    )
+                node = params["node"]
+                if node not in self.protocol.receivers:
+                    raise FaultError(
+                        f"{action.describe()}: node {node} is not a session receiver"
+                    )
+                continue
             if "node" in params:
                 node = params["node"]
                 if node not in self.network.nodes:
@@ -130,6 +158,14 @@ class FaultInjector:
             )
         elif kind == CLEAR_LOSS_MODEL:
             clear_loss_model(net, params["a"], params["b"], both=params["both"])
+        elif kind == JOIN:
+            self.protocol.join_receiver(params["node"])
+        elif kind == LEAVE:
+            self.protocol.leave_receiver(params["node"])
+        elif kind == RECEIVER_CRASH:
+            self.protocol.crash_receiver(params["node"])
+        elif kind == RECEIVER_RESTART:
+            self.protocol.restart_receiver(params["node"])
         else:  # pragma: no cover - plan validated kinds at build time
             raise FaultError(f"unknown fault kind {kind!r}")
         self.fired.append(action)
@@ -146,6 +182,9 @@ class FaultInjector:
                 link.fail()
                 cut.append((link.src, link.dst))
         self._partition_links[nodes] = cut
+        if cut:
+            # link.fail() bypasses set_link_up, so kick reconvergence here.
+            self.network.topology_changed()
 
     def _apply_heal(self, nodes: FrozenSet[int]) -> None:
         """Restore the links the matching partition downed.
@@ -154,13 +193,20 @@ class FaultInjector:
         so a heal-only plan still behaves sensibly.
         """
         cut = self._partition_links.pop(nodes, None)
+        changed = False
         if cut is None:
             for link in self.network.links():
-                if (link.src in nodes) != (link.dst in nodes):
+                if (link.src in nodes) != (link.dst in nodes) and not link.up:
                     link.restore()
-            return
-        for src, dst in cut:
-            self.network.link(src, dst).restore()
+                    changed = True
+        else:
+            for src, dst in cut:
+                link = self.network.link(src, dst)
+                if not link.up:
+                    link.restore()
+                    changed = True
+        if changed:
+            self.network.topology_changed()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "armed" if self._armed else "idle"

@@ -41,6 +41,15 @@ PARTITION = "partition"
 HEAL = "heal"
 GILBERT_ELLIOTT = "gilbert_elliott"
 CLEAR_LOSS_MODEL = "clear_loss_model"
+# Receiver churn: these target a protocol session's *agents* rather than
+# the network, so the injector needs a protocol to dispatch them.
+JOIN = "join"
+LEAVE = "leave"
+RECEIVER_CRASH = "receiver_crash"
+RECEIVER_RESTART = "receiver_restart"
+
+#: Kinds that act on a protocol's receiver agents, not the network.
+CHURN_KINDS = frozenset({JOIN, LEAVE, RECEIVER_CRASH, RECEIVER_RESTART})
 
 KINDS = frozenset(
     {
@@ -54,6 +63,7 @@ KINDS = frozenset(
         GILBERT_ELLIOTT,
         CLEAR_LOSS_MODEL,
     }
+    | CHURN_KINDS
 )
 
 
@@ -216,6 +226,32 @@ class FaultPlan:
     ) -> "FaultPlan":
         """Revert a link to plain Bernoulli loss at ``time``."""
         return self._add(time, CLEAR_LOSS_MODEL, a=a, b=b, both=both)
+
+    def join(self, time: float, node: int) -> "FaultPlan":
+        """(Re)join receiver ``node`` to the session at ``time``.
+
+        Churn actions target the protocol's receiver agents, so the
+        injector must be given a protocol (``FaultInjector(net, plan,
+        protocol=...)``) to arm a plan containing them.
+        """
+        return self._add(time, JOIN, node=node)
+
+    def leave(self, time: float, node: int) -> "FaultPlan":
+        """Cleanly remove receiver ``node`` from the session at ``time``."""
+        return self._add(time, LEAVE, node=node)
+
+    def crash_restart(self, time: float, node: int, down_for: float) -> "FaultPlan":
+        """Crash receiver ``node`` at ``time`` and restart it ``down_for``
+        seconds later.
+
+        Expands at build time into a :data:`RECEIVER_CRASH` plus a
+        :data:`RECEIVER_RESTART` action so both halves replay identically
+        and show up separately in the trace.
+        """
+        if down_for <= 0.0:
+            raise FaultError(f"crash_restart needs down_for > 0, got {down_for!r}")
+        self._add(time, RECEIVER_CRASH, node=node)
+        return self._add(time + down_for, RECEIVER_RESTART, node=node)
 
     def extend(self, other: "FaultPlan") -> "FaultPlan":
         """Append every action of ``other`` to this plan."""

@@ -10,12 +10,18 @@ the paper's loss-correlation-by-tree behaviour).
 from repro.net.link import Link
 from repro.net.monitor import PacketEvent, TrafficMonitor
 from repro.net.multicast import MulticastGroup
-from repro.net.network import Network
+from repro.net.network import DEFAULT_RECONVERGENCE_DELAY, Network
 from repro.net.node import Node
 from repro.net.packet import Packet, UnicastPacket
-from repro.net.routing import RoutingTable, shortest_path_tree, shortest_paths
+from repro.net.routing import (
+    RoutingTable,
+    best_effort_tree,
+    shortest_path_tree,
+    shortest_paths,
+)
 
 __all__ = [
+    "DEFAULT_RECONVERGENCE_DELAY",
     "Link",
     "MulticastGroup",
     "Network",
@@ -25,6 +31,7 @@ __all__ = [
     "PacketEvent",
     "RoutingTable",
     "TrafficMonitor",
+    "best_effort_tree",
     "shortest_path_tree",
     "shortest_paths",
 ]

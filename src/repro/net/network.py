@@ -4,6 +4,13 @@ Multicast delivery is hop-by-hop along a cached source-rooted shortest-path
 tree restricted to the group's scope.  Per-link Bernoulli loss is drawn as a
 packet crosses each link, so one upstream loss deprives the entire subtree —
 the loss-correlation structure the paper's analysis in §3.1 relies on.
+
+Routing models IGP reconvergence: trees and tables are computed over the
+last *converged* snapshot of the live adjacency.  A link/node state change
+invalidates the caches immediately but the snapshot only catches up after
+``reconvergence_delay`` — so a freshly downed branch blackholes for the
+duration of the delay (as with a real IGP), then traffic reroutes around
+(or prunes) the failed element until it heals and routing reconverges back.
 """
 
 from __future__ import annotations
@@ -16,14 +23,21 @@ from repro.net.monitor import PacketEvent
 from repro.net.multicast import MulticastGroup
 from repro.net.node import DeliveryHandler, Node
 from repro.net.packet import Packet, UnicastPacket
-from repro.net.routing import RoutingTable, shortest_path_tree
+from repro.net.routing import RoutingTable, best_effort_tree, shortest_paths
 from repro.sim.scheduler import Simulator
+
+#: Default IGP reconvergence delay (seconds) after a link/node state change.
+DEFAULT_RECONVERGENCE_DELAY = 0.5
 
 
 class Network:
     """Nodes + links + multicast groups over a :class:`Simulator`."""
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        reconvergence_delay: Optional[float] = DEFAULT_RECONVERGENCE_DELAY,
+    ) -> None:
         self.sim = sim
         self.nodes: Dict[int, Node] = {}
         self._links: Dict[Tuple[int, int], Link] = {}
@@ -39,6 +53,15 @@ class Network:
         # (True = drop).  When set it replaces the Bernoulli draws entirely;
         # conformance tests use it to script exact loss patterns.
         self.loss_oracle: Optional[Callable[[Link, Packet], bool]] = None
+        #: Seconds between a link/node state change and routing catching up
+        #: to it.  ``None`` disables reconvergence entirely (the legacy
+        #: permanent-blackhole model: the pre-fault routes live forever).
+        self.reconvergence_delay = reconvergence_delay
+        #: Count of reconvergence events that have fired (observability).
+        self.reconvergences = 0
+        # Routing computes over this snapshot of the live adjacency, not
+        # over the raw topology; _reconverge() refreshes it.
+        self._converged_adjacency: Dict[int, Dict[int, float]] = {}
 
     def _drops(self, link: Link, packet: Packet) -> bool:
         model = link.loss_model
@@ -73,7 +96,7 @@ class Network:
         node = Node(node_id, name)
         self.nodes[node_id] = node
         self._adjacency[node_id] = {}
-        self._invalidate()
+        self._structural_change()
         return node
 
     def add_link(
@@ -108,7 +131,7 @@ class Network:
         self._links[(b, a)] = rev
         self._adjacency[a][b] = latency_s
         self._adjacency[b][a] = latency_s
-        self._invalidate()
+        self._structural_change()
         return fwd, rev
 
     def link(self, src: int, dst: int) -> Link:
@@ -131,22 +154,39 @@ class Network:
     def set_link_up(self, a: int, b: int, up: bool, both: bool = True) -> None:
         """Fail or restore the link a→b (and b→a when ``both``).
 
-        Routing and multicast trees are *not* recomputed: a down link models
-        a partition that persists until the link heals, matching how a
-        multicast tree keeps blackholing a subtree until unicast routing
-        reconverges (which we deliberately do not model).
+        An actual state change schedules IGP reconvergence (see
+        :meth:`topology_changed`): for ``reconvergence_delay`` seconds the
+        stale routes keep blackholing into the dead link, then routing
+        rebuilds against the live adjacency and traffic flows around it.
         """
-        self.link(a, b).up = bool(up)
+        changed = False
+        link = self.link(a, b)
+        if link.up != bool(up):
+            changed = True
+        link.up = bool(up)
         if both:
-            self.link(b, a).up = bool(up)
+            rev = self.link(b, a)
+            if rev.up != bool(up):
+                changed = True
+            rev.up = bool(up)
+        if changed:
+            self.topology_changed()
 
     def set_node_up(self, node_id: int, up: bool) -> None:
-        """Crash or restart a node (down nodes neither deliver nor forward)."""
+        """Crash or restart a node (down nodes neither deliver nor forward).
+
+        Like :meth:`set_link_up`, an actual state change schedules IGP
+        reconvergence so routing eventually detours around (or back
+        through) the node.
+        """
         try:
             node = self.nodes[node_id]
         except KeyError:
             raise TopologyError(f"unknown node {node_id}") from None
+        changed = node.up != bool(up)
         node.up = bool(up)
+        if changed:
+            self.topology_changed()
 
     def set_loss_model(self, a: int, b: int, model: object, model_ba: object = None) -> None:
         """Install a stateful loss model on a→b (and optionally b→a).
@@ -163,6 +203,55 @@ class Network:
         self._topology_version += 1
         self._tree_cache.clear()
         self._routing_cache.clear()
+
+    def _structural_change(self) -> None:
+        # Builders (add_node/add_link) reshape the topology itself, which
+        # is configuration rather than a runtime fault: the converged view
+        # follows instantly, with no reconvergence delay.
+        self._converged_adjacency = self._live_adjacency()
+        self._invalidate()
+
+    def _live_adjacency(self) -> Dict[int, Dict[int, float]]:
+        """The adjacency restricted to up links between up nodes."""
+        live: Dict[int, Dict[int, float]] = {}
+        for u, neighbors in self._adjacency.items():
+            row: Dict[int, float] = {}
+            if self.nodes[u].up:
+                for v, latency in neighbors.items():
+                    if self.nodes[v].up and self._links[(u, v)].up:
+                        row[v] = latency
+            live[u] = row
+        return live
+
+    def topology_changed(self) -> None:
+        """Note a runtime link/node state change and schedule reconvergence.
+
+        Caches are invalidated immediately, but rebuilt routes still come
+        from the *last converged* adjacency snapshot — traffic keeps
+        blackholing into the failed element, as under a real IGP — until
+        ``reconvergence_delay`` elapses and :meth:`_reconverge` snapshots
+        the live adjacency.  With ``reconvergence_delay=None`` routing
+        never catches up (the legacy permanent-blackhole model).
+
+        Called by :meth:`set_link_up` / :meth:`set_node_up`; fault tooling
+        that fails links directly (e.g. the injector's partitions) must
+        call it after mutating link state.
+        """
+        self._invalidate()
+        if self.reconvergence_delay is None:
+            return
+        self.sim.schedule(self.reconvergence_delay, self._reconverge)
+
+    def _reconverge(self) -> None:
+        self._converged_adjacency = self._live_adjacency()
+        self._invalidate()
+        self.reconvergences += 1
+        self.sim.tracer.emit(
+            self.sim.now,
+            "net.reconverge",
+            -1,
+            f"routing reconverged (event {self.reconvergences})",
+        )
 
     # ------------------------------------------------------------------ groups
 
@@ -248,9 +337,25 @@ class Network:
         members.discard(src)
         allowed = group.scope
         try:
-            children = shortest_path_tree(self._adjacency, src, members, allowed)
+            children, unreachable = best_effort_tree(
+                self._converged_adjacency, src, members, allowed
+            )
         except RoutingError as exc:
             raise RoutingError(f"group {group.name!r}: {exc}") from exc
+        if unreachable:
+            # Distinguish configuration errors from transient faults: a
+            # member with no path even over the *full* adjacency (every
+            # link up) is mis-scoped or disconnected by construction and
+            # that is still a hard error; a member severed only in the
+            # converged view is a routing casualty and gets pruned until
+            # the topology heals and routing reconverges.
+            _, full_parent = shortest_paths(self._adjacency, src, allowed)
+            hard = [m for m in unreachable if m not in full_parent]
+            if hard:
+                raise RoutingError(
+                    f"group {group.name!r}: member {min(hard)} "
+                    f"unreachable from {src}"
+                )
         self._tree_cache[key] = (stamp, children)
         return children
 
@@ -314,7 +419,13 @@ class Network:
             self.sim.tracer.emit(self.sim.now, "pkt.stifled", packet.src, packet)
             return
         table = self.routing_table(packet.src)
-        path = table.path_to(packet.dst)
+        try:
+            path = table.path_to(packet.dst)
+        except RoutingError:
+            # No converged route (severed by faults): the packet dies at
+            # the source, like an IP lookup miss.
+            self.sim.tracer.emit(self.sim.now, "pkt.noroute", packet.src, packet)
+            return
         if self._observers:
             self._notify(
                 "on_send",
@@ -363,10 +474,15 @@ class Network:
     # ------------------------------------------------------------------- query
 
     def routing_table(self, source: int) -> RoutingTable:
-        """Cached shortest-path routing table rooted at ``source``."""
+        """Cached shortest-path routing table rooted at ``source``.
+
+        Computed over the last *converged* adjacency, so for up to
+        ``reconvergence_delay`` after a fault it still routes into the
+        failed element.
+        """
         table = self._routing_cache.get(source)
         if table is None:
-            table = RoutingTable(self._adjacency, source)
+            table = RoutingTable(self._converged_adjacency, source)
             self._routing_cache[source] = table
         return table
 
@@ -389,10 +505,27 @@ class Network:
         """Compounded loss probability along the shortest path src→dst.
 
         ``1 - Π(1 - loss_link)`` over the path's links — the paper's §3.1
-        "Total Loss" formula.
+        "Total Loss" formula.  A down link, a crashed node on the path, or
+        an unroutable destination all count as total loss (1.0); a link
+        carrying a stateful loss model contributes the model's stationary
+        rate rather than the dormant Bernoulli ``loss_rate``.
         """
-        path = self.routing_table(src).path_to(dst)
+        try:
+            path = self.routing_table(src).path_to(dst)
+        except RoutingError:
+            return 1.0
         p_ok = 1.0
         for u, v in zip(path, path[1:]):
-            p_ok *= 1.0 - self._links[(u, v)].loss_rate
+            if not self.nodes[v].up:
+                return 1.0
+            link = self._links[(u, v)]
+            if not link.up:
+                return 1.0
+            rate = link.loss_rate
+            model = link.loss_model
+            if model is not None:
+                stationary = getattr(model, "stationary_loss_rate", None)
+                if stationary is not None:
+                    rate = stationary
+            p_ok *= 1.0 - rate
         return 1.0 - p_ok

@@ -58,6 +58,45 @@ def shortest_paths(
     return dist, parent
 
 
+def best_effort_tree(
+    adjacency: Adjacency,
+    source: int,
+    members: Iterable[int],
+    allowed: Optional[Set[int]] = None,
+) -> Tuple[Dict[int, List[int]], Set[int]]:
+    """Build the source-rooted multicast tree, pruning unreachable members.
+
+    Like :func:`shortest_path_tree` but tolerant of severed members: the
+    network layer routes over the *converged* adjacency, where down links
+    and crashed nodes may legitimately cut part of a group off until the
+    topology heals and routing reconverges again.
+
+    Returns:
+        (children, unreachable): the tree spanning the reachable members,
+        and the set of members with no path from the source within the
+        allowed set.
+    """
+    member_set = set(members)
+    member_set.discard(source)
+    _, parent = shortest_paths(adjacency, source, allowed)
+    children: Dict[int, List[int]] = {}
+    on_tree: Set[int] = {source}
+    unreachable: Set[int] = set()
+    for member in member_set:
+        if member not in parent:
+            unreachable.add(member)
+            continue
+        node = member
+        while node not in on_tree:
+            p = parent[node]
+            kids = children.setdefault(p, [])
+            if node not in kids:
+                kids.append(node)
+            on_tree.add(node)
+            node = p
+    return children, unreachable
+
+
 def shortest_path_tree(
     adjacency: Adjacency,
     source: int,
@@ -79,22 +118,10 @@ def shortest_path_tree(
         RoutingError: if a member is unreachable from the source within the
             allowed set.
     """
-    member_set = set(members)
-    member_set.discard(source)
-    _, parent = shortest_paths(adjacency, source, allowed)
-    children: Dict[int, List[int]] = {}
-    on_tree: Set[int] = {source}
-    for member in member_set:
-        if member not in parent and member != source:
-            raise RoutingError(f"member {member} unreachable from {source}")
-        node = member
-        while node not in on_tree:
-            p = parent[node]
-            kids = children.setdefault(p, [])
-            if node not in kids:
-                kids.append(node)
-            on_tree.add(node)
-            node = p
+    children, unreachable = best_effort_tree(adjacency, source, members, allowed)
+    if unreachable:
+        member = min(unreachable)
+        raise RoutingError(f"member {member} unreachable from {source}")
     return children
 
 

@@ -120,6 +120,34 @@ class SrmAgent:
         for timer in self._repair_timers.values():
             timer.cancel()
 
+    def crash(self) -> None:
+        """Crash the member's process (alias for :meth:`stop`)."""
+        self.stop()
+
+    def restart(self) -> None:
+        """Revive a stopped member; a no-op when already running.
+
+        Pending loss requests resume, and SRM's session ``highest_seq``
+        advertisement natively resynchronizes whatever the outage hid
+        (``_handle_session`` → ``_note_exists``) — the churn-recovery
+        counterpart the SHARQFEC comparison stays fair against.
+        """
+        if not self._stopped:
+            return
+        self._stopped = False
+        self.join()
+        self._session_timer.restart(self._session_interval())
+        for loss in self.losses.values():
+            loss.timer.restart(self._request_delay(loss))
+
+    def leave(self) -> None:
+        """Depart the session: silence the agent and unsubscribe its groups."""
+        self.stop()
+        if self._joined:
+            self.network.unsubscribe(self.data_group, self.node_id, self._on_data_group)
+            self.network.unsubscribe(self.session_group, self.node_id, self._on_session_group)
+            self._joined = False
+
     # ------------------------------------------------------------------ source
 
     def _emit(self, seq: int) -> None:

@@ -54,13 +54,46 @@ class SrmProtocol:
     def _start_sessions(self) -> None:
         self.source.start_session()
         for receiver in self.receivers.values():
-            receiver.start_session()
+            if not receiver._stopped:
+                # Deferred receivers (defer_receiver) sit out until joined.
+                receiver.start_session()
 
     def stop(self) -> None:
         """Cancel every agent timer."""
         self.source.stop()
         for receiver in self.receivers.values():
             receiver.stop()
+
+    # ------------------------------------------------------------------ churn
+
+    def _receiver(self, node_id: int) -> SrmAgent:
+        try:
+            return self.receivers[node_id]
+        except KeyError:
+            raise ConfigError(
+                f"node {node_id} is not a receiver of this session"
+            ) from None
+
+    def defer_receiver(self, node_id: int) -> None:
+        """Hold a receiver out of the session until :meth:`join_receiver`."""
+        self._receiver(node_id).stop()
+
+    def join_receiver(self, node_id: int) -> None:
+        """(Re)join a deferred, crashed, or departed receiver; session
+        ``highest_seq`` advertisements resynchronize it."""
+        self._receiver(node_id).restart()
+
+    def leave_receiver(self, node_id: int) -> None:
+        """Cleanly remove a receiver from the session's groups."""
+        self._receiver(node_id).leave()
+
+    def crash_receiver(self, node_id: int) -> None:
+        """Crash a receiver's process mid-run (its node keeps routing)."""
+        self._receiver(node_id).crash()
+
+    def restart_receiver(self, node_id: int) -> None:
+        """Restart a crashed receiver."""
+        self._receiver(node_id).restart()
 
     # ------------------------------------------------------------- statistics
 

@@ -16,8 +16,10 @@ from repro.testing.invariants import (
     TraceRecorder,
     assert_eventual_delivery,
     assert_no_duplicate_delivery,
+    assert_recovery_within,
     assert_replay_identical,
     connected_receivers,
+    heal_deadline,
     incomplete_receivers,
 )
 
@@ -27,8 +29,10 @@ __all__ = [
     "TraceRecorder",
     "assert_eventual_delivery",
     "assert_no_duplicate_delivery",
+    "assert_recovery_within",
     "assert_replay_identical",
     "connected_receivers",
+    "heal_deadline",
     "incomplete_receivers",
     "property_max_examples",
 ]

@@ -10,6 +10,9 @@ drivers all need to assert the same handful of end-to-end properties:
 * **repair containment** — traffic on a zone's scoped channels is only ever
   seen at that zone's members (the paper's localization claim, checked
   observationally rather than trusted structurally);
+* **bounded recovery** — after the last fault heals and routing reconverges,
+  every surviving receiver completes within a stated allowance
+  (:func:`assert_recovery_within` + :func:`heal_deadline`);
 * **determinism** — a (topology, plan, seed) triple replays to a
   byte-identical trace.
 
@@ -108,6 +111,57 @@ def assert_no_duplicate_delivery(protocol, context: str = "") -> None:
             )
 
 
+def heal_deadline(network: Network, plan, bound: float) -> float:
+    """Latest acceptable completion time after a fault plan heals.
+
+    ``plan.last_time`` is when the final fault action fires (by convention
+    the healing step); the network then needs one reconvergence delay
+    before routing follows the restored topology, and ``bound`` is the
+    protocol-recovery allowance granted on top of that.
+    """
+    return plan.last_time + (network.reconvergence_delay or 0.0) + bound
+
+
+def assert_recovery_within(
+    protocol,
+    deadline: float,
+    receivers: Optional[Iterable[int]] = None,
+    context: str = "",
+) -> None:
+    """Post-heal reconvergence invariant: every (surviving) receiver both
+    completed the stream *and* did so no later than ``deadline``.
+
+    For SHARQFEC receivers the completion instant is the max
+    ``GroupState.completed_at`` across groups.  SRM agents record no
+    completion timestamps, so for them the check degrades to completion
+    alone (the run's ``sim.run(until=...)`` horizon bounds the time).
+    """
+    wanted = sorted(set(protocol.receivers) if receivers is None else set(receivers))
+    prefix = f"{context}: " if context else ""
+    incomplete = incomplete_receivers(protocol, wanted)
+    if incomplete:
+        raise InvariantViolation(
+            f"{prefix}recovery violated — receivers {incomplete} never "
+            f"completed (deadline was t={deadline:g})"
+        )
+    late: List[str] = []
+    for rid in wanted:
+        agent = protocol.receivers[rid]
+        if not hasattr(agent, "groups"):
+            continue  # SRM: no per-packet completion clock
+        finished = max(
+            (g.completed_at for g in agent.groups.values() if g.completed_at is not None),
+            default=0.0,
+        )
+        if finished > deadline:
+            late.append(f"{rid} (t={finished:.3f})")
+    if late:
+        raise InvariantViolation(
+            f"{prefix}recovery violated — receivers completed after the "
+            f"t={deadline:g} deadline: {', '.join(late)}"
+        )
+
+
 # -------------------------------------------------------------- connectivity
 
 
@@ -120,12 +174,14 @@ def connected_receivers(
     the "surviving receiver" set for :func:`assert_eventual_delivery` under
     a fault plan that never heals.
 
-    Caveat: this is *physical* connectivity.  Multicast forwarding follows
-    cached source-rooted trees and never reroutes around a downed link, so
-    on topologies with redundant paths (e.g. Figure 10's head mesh) a
-    permanently severed tree edge leaves receivers "connected" here yet
-    unreachable by the session.  On such topologies, pair the eventual-
-    delivery invariant with fault plans that heal before the stream ends.
+    Caveat: this is *instantaneous physical* connectivity.  Multicast
+    forwarding follows source-rooted trees computed against the last
+    *converged* topology snapshot, and only reroutes one reconvergence
+    delay after a change (see ``Network.reconvergence_delay``).  A receiver
+    "connected" here may therefore still be blackholed if the routing has
+    not yet reconverged — pair the eventual-delivery invariant with a run
+    horizon that extends past the last fault plus the reconvergence delay
+    (see :func:`heal_deadline`).
     """
     wanted = set(receiver_ids)
     if source not in network.nodes or not network.nodes[source].up:

@@ -31,10 +31,8 @@ def late_join_run(recovery: bool, seed=2):
     proto.start(session_start=1.0, data_start=6.0)
     # Receiver 3 joins mid-stream: groups 0 and 1 already went by.
     late = proto.receivers[3]
-    stopped_early = net.nodes[3]
-    # Remove its subscriptions until t=6.35 (after ~2 groups).
-    proto.receivers[3]._stopped = True
-    sim.at(6.35, setattr, proto.receivers[3], "_stopped", False)
+    proto.defer_receiver(3)
+    sim.at(6.35, proto.join_receiver, 3)
     sim.run(until=40.0)
     return proto, late
 

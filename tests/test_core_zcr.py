@@ -129,6 +129,56 @@ def test_zcr_failure_recovers_via_watchdog():
     assert survivor_views == {2}, "node 2 (next closest) should take over"
 
 
+def test_failed_over_zcr_answers_nacks():
+    """Failover is useful, not just cosmetic: after the zone rep crashes,
+    the watchdog-elected successor must take over *repair duties* — answer
+    the zone's NACKs with FEC so the loss never escalates past the zone."""
+    sim = Simulator(seed=9)
+    net = Network(sim)
+    for _ in range(5):
+        net.add_node()
+    net.add_link(0, 1, 10e6, 0.010)
+    net.add_link(1, 2, 10e6, 0.020)
+    net.add_link(2, 3, 10e6, 0.005)
+    net.add_link(2, 4, 10e6, 0.015)
+    h = ZoneHierarchy()
+    root = h.add_root(range(5), name="Z0")
+    zone = h.add_zone(root.zone_id, {2, 3, 4}, name="edge")
+    config = SharqfecConfig(n_packets=32)
+    proto = SharqfecProtocol(net, config, 0, [1, 2, 3, 4], h)
+    # Sessions settle, node 2 (nearest) becomes rep, then crashes; the
+    # stream starts only after the watchdog has had time to fail over.
+    proto.start(session_start=1.0, data_start=20.0)
+    sim.at(6.0, proto.crash_receiver, 2)
+    # Deterministic loss: node 4's access link blacks out mid-stream, so
+    # it misses packets its new rep (node 3) holds.
+    sim.at(20.05, net.set_link_loss, 2, 4, 0.999999)
+    sim.at(20.25, net.set_link_loss, 2, 4, 0.0)
+    from repro.testing import TraceRecorder
+
+    with TraceRecorder(sim, categories=["pkt.send"]) as recorder:
+        sim.run(until=80.0)
+    survivor_views = {
+        proto.receivers[n].session.zcr_ids.get(zone.zone_id) for n in (3, 4)
+    }
+    assert survivor_views == {3}, "node 3 (next closest) takes over"
+    # The successor actually answered NACKs on the zone's repair channel.
+    repair_group = proto.channels.for_zone(zone.zone_id).repair_group_id
+    fec_from_3 = [
+        r for r in recorder.records
+        if r.node == 3 and r.detail.kind == "FEC" and r.detail.group == repair_group
+    ]
+    assert fec_from_3, "new rep must answer the zone's NACKs with FEC"
+    assert sum(g.repairs_sent for g in proto.receivers[3].groups.values()) > 0
+    # Repair stayed scoped: nothing escalated to the root channel.
+    root_repair = proto.channels.for_zone(root.zone_id).repair_group_id
+    assert not any(
+        r.detail.kind == "NACK" and r.detail.group == root_repair
+        for r in recorder.records
+    )
+    assert proto.receivers[4].all_complete(config.n_groups)
+
+
 def test_election_is_deterministic_per_seed():
     def run(seed):
         sim = Simulator(seed=seed)

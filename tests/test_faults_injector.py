@@ -56,6 +56,16 @@ def test_plan_actions_sorted_and_ramp_expansion():
     assert "ramp" in plan.describe() and "set_loss" in plan.describe()
 
 
+def test_crash_restart_expands_into_two_actions():
+    plan = FaultPlan("churn").crash_restart(2.0, 3, down_for=0.5)
+    assert [(a.time, a.kind) for a in plan.actions()] == [
+        (2.0, "receiver_crash"),
+        (2.5, "receiver_restart"),
+    ]
+    with pytest.raises(FaultError):
+        plan.crash_restart(1.0, 3, down_for=0.0)
+
+
 def test_plan_extend_merges_schedules():
     a = FaultPlan("a").link_down(1.0, 0, 1)
     b = FaultPlan("b").link_up(2.0, 0, 1)
@@ -113,6 +123,39 @@ def test_partition_cuts_only_boundary_and_heal_is_exact():
     assert not net.link(0, 1).up
 
 
+def test_churn_requires_a_protocol():
+    sim, net = line_network()
+    with pytest.raises(FaultError, match="protocol"):
+        FaultInjector(net, FaultPlan().join(1.0, 2)).arm()
+
+
+def test_churn_validates_receiver_membership():
+    sim, net = line_network()
+    proto = SharqfecProtocol(net, SharqfecConfig(n_packets=16), 0, [1, 2, 3])
+    plan = FaultPlan().crash_restart(1.0, 0, down_for=0.1)  # 0 is the source
+    with pytest.raises(FaultError, match="not a session receiver"):
+        FaultInjector(net, plan, protocol=proto).arm()
+
+
+def test_churn_actions_drive_the_protocol():
+    sim, net = line_network()
+    proto = SharqfecProtocol(net, SharqfecConfig(n_packets=32), 0, [1, 2, 3])
+    plan = FaultPlan("churn").crash_restart(6.05, 3, down_for=0.3)
+    injector = FaultInjector(net, plan, protocol=proto).arm()
+    proto.start(1.0, 6.0)
+    down_state = {}
+    sim.at(6.2, lambda: down_state.update(stopped=proto.receivers[3]._stopped))
+    with TraceRecorder(sim) as recorder:
+        sim.run(until=40.0)
+    assert down_state["stopped"] is True
+    assert not proto.receivers[3]._stopped
+    assert recorder.count("fault.receiver_crash") == 1
+    assert recorder.count("fault.receiver_restart") == 1
+    assert len(injector.fired) == 2
+    assert_eventual_delivery(proto)
+    assert_no_duplicate_delivery(proto)
+
+
 def test_disarm_cancels_pending_actions():
     sim, net = line_network()
     injector = FaultInjector(net, FaultPlan().link_down(5.0, 0, 1))
@@ -139,7 +182,12 @@ def test_faults_land_in_the_trace_stream():
     with TraceRecorder(sim) as recorder:
         sim.run(until=10.0)
     assert recorder.count("fault.") == 6
-    categories = [r.category for r in recorder.records]
+    # Each up/down state change also triggers an IGP reconvergence event,
+    # traced under its own (non-fault) category.
+    assert recorder.count("net.reconverge") == 4
+    categories = [
+        r.category for r in recorder.records if r.category.startswith("fault.")
+    ]
     assert categories == [
         "fault.link_down",
         "fault.link_up",

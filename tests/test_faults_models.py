@@ -216,13 +216,16 @@ def test_down_node_neither_delivers_nor_forwards():
     sim.run(until=1.0)
     assert got == {1: 0, 2: 0}, "crashed relay must blackhole its subtree"
 
+    # After the restart, routing only readmits the node once the
+    # reconvergence delay has elapsed — run past it before sending again.
     net.set_node_up(1, True)
-    net.multicast(0, Packet("DATA", 0, group.group_id, 100))
     sim.run(until=2.0)
+    net.multicast(0, Packet("DATA", 0, group.group_id, 100))
+    sim.run(until=3.0)
     assert got == {1: 1, 2: 1}
 
     # A crashed source transmits nothing at all.
     net.set_node_up(0, False)
     net.multicast(0, Packet("DATA", 0, group.group_id, 100))
-    sim.run(until=3.0)
+    sim.run(until=4.0)
     assert got == {1: 1, 2: 1}

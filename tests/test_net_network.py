@@ -199,6 +199,55 @@ def test_true_rtt_and_path_loss(line_net):
     assert net.path_loss(0, 2) == pytest.approx(1 - 0.9 * 0.8)
 
 
+def test_path_loss_sees_down_links_and_nodes_as_total_loss(line_net):
+    net = line_net
+    net.set_link_loss(0, 1, 0.1)
+    assert net.path_loss(0, 2) == pytest.approx(0.1)
+    net.set_link_up(1, 2, False)
+    assert net.path_loss(0, 2) == pytest.approx(1.0)
+    net.set_link_up(1, 2, True)
+    net.set_node_up(1, False)
+    assert net.path_loss(0, 2) == pytest.approx(1.0)
+
+
+def test_path_loss_uses_stationary_rate_of_loss_models(line_net):
+    from repro.faults import install_gilbert_elliott
+
+    net = line_net
+    install_gilbert_elliott(net, 0, 1, p_gb=0.05, p_bg=0.25, loss_bad=1.0)
+    stationary = net.link(0, 1).loss_model.stationary_loss_rate
+    assert 0.0 < stationary < 1.0
+    assert net.path_loss(0, 1) == pytest.approx(stationary)
+
+
+def test_topology_change_invalidates_cached_multicast_tree():
+    """Regression: a multicast tree cached before a link flap must not be
+    reused after the topology change reconverges (satellite of the
+    reconvergence tentpole)."""
+    sim = Simulator(seed=11)
+    net = Network(sim)
+    for _ in range(4):
+        net.add_node()
+    # Diamond: 0->1->3 (cheap) and 0->2->3 (dear) — tree prefers 0-1-3.
+    net.add_link(0, 1, 10e6, 0.010)
+    net.add_link(1, 3, 10e6, 0.010)
+    net.add_link(0, 2, 10e6, 0.030)
+    net.add_link(2, 3, 10e6, 0.030)
+    group = net.create_group("g")
+    got = []
+    net.subscribe(group.group_id, 3, lambda p: got.append(round(sim.now, 6)))
+    net.multicast(0, Packet("DATA", 0, group.group_id, 1000))  # caches tree
+    sim.run()
+    assert len(got) == 1
+    net.set_link_up(1, 3, False)
+    sim.run(until=sim.now + 2 * net.reconvergence_delay)
+    net.multicast(0, Packet("DATA", 0, group.group_id, 1000))
+    sim.run()
+    # Rerouted via 0-2-3 instead of reusing the stale 0-1-3 tree.
+    assert len(got) == 2
+    assert net.link(2, 3).packets_sent >= 1
+
+
 def test_duplicate_link_rejected(line_net):
     with pytest.raises(TopologyError):
         line_net.add_link(0, 1, 1e6, 0.01)

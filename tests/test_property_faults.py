@@ -6,11 +6,12 @@ then asserts SHARQFEC's core guarantees: every still-connected receiver
 eventually reconstructs the full stream, and no receiver is handed a data
 packet twice.
 
-Faults are confined to the middle of the data stream on purpose: SHARQFEC
-carries no tail-loss advertisement (unlike SRM's session ``highest_seq``),
-so a receiver that loses *every* packet of the final group has no way to
-learn it exists.  A clean tail keeps eventual delivery a theorem rather
-than a coin flip, which is exactly what a property test needs.
+Faults are confined to the middle of the data stream on purpose: it keeps
+eventual delivery a theorem rather than a coin flip (the stream-extent
+session gossip *can* surface a fully-lost tail group, but only on the
+session cadence, which a bounded run should not have to wait out).
+Tail-swallowing outages are exercised separately in
+``tests/test_property_healing.py``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,126 @@
+"""Acceptance property test for the self-healing layer.
+
+Hypothesis picks one mid-transfer disruption — a random link flap, a zone
+rep crash-restart, or a random receiver crash-restart — on a fixed
+two-zone topology.  After the disruption heals and routing reconverges,
+the core invariants must still hold: eventual delivery within a bound,
+no duplicate delivery, and repair containment.  And the identical
+scenario run twice from one seed must produce byte-identical transcripts.
+
+Unlike ``tests/test_property_faults.py`` this deliberately allows outages
+that swallow whole tail groups at a churned receiver: the stream-extent
+session gossip is what surfaces those, so the run horizon covers a few
+session intervals past the heal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SharqfecConfig
+from repro.core.protocol import SharqfecProtocol
+from repro.faults import FaultInjector, FaultPlan
+from repro.net.network import Network
+from repro.scoping.zone import ZoneHierarchy
+from repro.sim.scheduler import Simulator
+from repro.testing import (
+    RepairContainment,
+    TraceRecorder,
+    assert_eventual_delivery,
+    assert_no_duplicate_delivery,
+    assert_recovery_within,
+    assert_replay_identical,
+    heal_deadline,
+    property_max_examples,
+)
+
+N_PACKETS = 48
+GROUP_SIZE = 8
+STREAM_START = 6.0
+# Disruptions land mid-transfer and heal before the run's cool-down.
+FAULT_LO = STREAM_START + 0.05
+FAULT_HI = STREAM_START + 0.25
+DURATIONS = st.floats(min_value=0.05, max_value=0.20, allow_nan=False)
+
+HEADS = (2, 5)
+LEAVES = (3, 4, 6, 7)
+# Tree edges eligible for flapping; 3-4 is an in-zone detour, so a 2-3
+# flap exercises actual rerouting rather than a pure blackhole window.
+FLAPPABLE = ((1, 2), (2, 3), (1, 5), (5, 6))
+
+
+def build_network(sim: Simulator) -> Network:
+    net = Network(sim)
+    for _ in range(8):
+        net.add_node()
+    net.add_link(0, 1, 10e6, 0.010)   # source -> hub
+    net.add_link(1, 2, 10e6, 0.015)   # hub -> head A
+    net.add_link(2, 3, 10e6, 0.010)
+    net.add_link(2, 4, 10e6, 0.010)
+    net.add_link(3, 4, 10e6, 0.020)   # in-zone detour
+    net.add_link(1, 5, 10e6, 0.015)   # hub -> head B
+    net.add_link(5, 6, 10e6, 0.010)
+    net.add_link(5, 7, 10e6, 0.010)
+    return net
+
+
+def build_hierarchy() -> ZoneHierarchy:
+    h = ZoneHierarchy()
+    root = h.add_root(range(8), name="Z0")
+    h.add_zone(root.zone_id, {2, 3, 4}, name="A")
+    h.add_zone(root.zone_id, {5, 6, 7}, name="B")
+    return h
+
+
+@st.composite
+def healing_scenario(draw):
+    kind = draw(st.sampled_from(["link_flap", "rep_crash", "receiver_crash"]))
+    t = draw(st.floats(min_value=FAULT_LO, max_value=FAULT_HI, allow_nan=False))
+    dur = draw(DURATIONS)
+    plan = FaultPlan(kind)
+    if kind == "link_flap":
+        a, b = draw(st.sampled_from(FLAPPABLE))
+        plan.link_down(t, a, b)
+        plan.link_up(t + dur, a, b)
+    elif kind == "rep_crash":
+        plan.crash_restart(t, draw(st.sampled_from(HEADS)), down_for=dur)
+    else:
+        plan.crash_restart(t, draw(st.sampled_from(LEAVES)), down_for=dur)
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return plan, seed
+
+
+def run_scenario(plan: FaultPlan, seed: int) -> str:
+    sim = Simulator(seed=seed)
+    net = build_network(sim)
+    config = SharqfecConfig(n_packets=N_PACKETS, group_size=GROUP_SIZE)
+    protocol = SharqfecProtocol(net, config, 0, list(range(1, 8)), build_hierarchy())
+    FaultInjector(net, plan, protocol=protocol).arm()
+    with TraceRecorder(sim) as recorder, \
+            RepairContainment.for_protocol(protocol) as containment:
+        protocol.start(1.0, STREAM_START)
+        sim.run(until=150.0)
+        protocol.stop()
+    context = f"seed={seed} plan={plan.describe()}"
+    assert_eventual_delivery(protocol, context=context)
+    assert_no_duplicate_delivery(protocol, context=context)
+    assert_recovery_within(
+        protocol, heal_deadline(net, plan, bound=100.0), context=context
+    )
+    containment.assert_contained(context=context)
+    return recorder.render()
+
+
+@given(healing_scenario())
+@settings(max_examples=property_max_examples(5), deadline=None)
+def test_healed_disruption_preserves_invariants_and_determinism(case):
+    plan, seed = case
+    assert_replay_identical(
+        lambda: run_scenario(plan, seed),
+        runs=2,
+        context=f"seed={seed} plan={plan.describe()}",
+    )
