@@ -29,3 +29,26 @@ def n_packets() -> int:
 @pytest.fixture(scope="session")
 def seed() -> int:
     return int(os.environ.get("SHARQFEC_BENCH_SEED", "1"))
+
+
+def pytest_terminal_summary(terminalreporter) -> None:
+    """Report wall clock and events/sec for every protocol run this session.
+
+    The shape assertions say nothing about speed, but every cached run
+    already carries its wall time and event count — surfacing them makes
+    perf regressions visible in ordinary benchmark output long before the
+    dedicated ``benchmarks/perf`` suite runs.
+    """
+    try:
+        from repro.experiments.traffic_sim import _run_cache
+    except ImportError:
+        return
+    if not _run_cache:
+        return
+    terminalreporter.section("traffic simulation throughput")
+    for (protocol, n_packets, seed_, drain), run in sorted(_run_cache.items()):
+        rate = run.events / run.wall_seconds if run.wall_seconds > 0 else float("inf")
+        terminalreporter.write_line(
+            f"{protocol:<10} n={n_packets:<5} seed={seed_} drain={drain:g}: "
+            f"{run.wall_seconds:.3f}s wall, {run.events} events, {rate:,.0f} events/s"
+        )

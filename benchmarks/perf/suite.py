@@ -1,0 +1,207 @@
+"""The wall-clock benchmark kernels.
+
+Each ``bench_*`` function runs one deterministic, seeded workload against
+the *public* simulator APIs and returns a dict of measurements.  The
+workloads are frozen: the same definitions ran against the pre-optimization
+tree to produce the committed baseline in ``BENCH_PR3.json``, so speedups
+are apples-to-apples.
+
+Wall-clock numbers are taken with ``time.perf_counter`` over ``repeats``
+runs and the *best* run is reported — minimum wall time is the standard
+estimator for throughput benchmarks because noise is strictly additive.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List
+
+from repro.sim.scheduler import Simulator
+from repro.sim.timers import Timer
+
+MB = 1024.0 * 1024.0
+
+
+def _best_wall(fn: Callable[[], object], repeats: int) -> tuple:
+    """Run ``fn`` ``repeats`` times; return (best_seconds, last_result)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+# ------------------------------------------------------------- event core
+
+
+def run_timer_churn(n_timers: int = 512, horizon: float = 40.0, seed: int = 7) -> int:
+    """A timer-heavy workload shaped like SHARQFEC suppression traffic.
+
+    Every firing restarts the timer itself *and* re-arms a pseudo-random
+    neighbour (the suppression pattern: most scheduled expiries are pushed
+    out before they fire), so the event queue sees far more cancellations/
+    reschedules than firings — exactly the churn the tombstone-compaction
+    work targets.  Returns the number of events fired (deterministic).
+    """
+    sim = Simulator(seed=seed)
+    rngs = [sim.rng.stream(f"churn.{i}") for i in range(n_timers)]
+    timers: List[Timer] = []
+
+    def make_callback(i: int) -> Callable[[], None]:
+        def fire() -> None:
+            rng = rngs[i]
+            timers[i].restart(0.01 + rng.random() * 0.05)
+            timers[(i * 7 + 3) % n_timers].restart(0.02 + rng.random() * 0.05)
+
+        return fire
+
+    for i in range(n_timers):
+        timers.append(Timer(sim, make_callback(i), name=f"churn{i}"))
+    for i, timer in enumerate(timers):
+        timer.start(0.001 * (i + 1))
+    sim.run(until=horizon)
+    for timer in timers:
+        timer.cancel()
+    return sim.events_fired
+
+
+def bench_events(repeats: int = 3) -> Dict[str, float]:
+    """Events/sec on the timer-churn workload."""
+    wall, fired = _best_wall(run_timer_churn, repeats)
+    return {
+        "events_fired": float(fired),
+        "wall_s": wall,
+        "events_per_sec": fired / wall,
+    }
+
+
+# -------------------------------------------------------------- forwarding
+
+
+def run_flood(n_packets: int = 512, seed: int = 3) -> tuple:
+    """Multicast flood on the paper's 113-node Figure 10 topology.
+
+    No protocol agents: the source floods fixed-size data packets to all
+    112 receivers through the lossy scoped tree.  This isolates the
+    forwarding engine — tree walk, per-link FIFO accounting, Bernoulli
+    loss draws, arrival delivery — from SHARQFEC protocol logic, which
+    :func:`bench_fig11` covers end to end.  Returns (monitor, sim).
+    """
+    from repro.net.monitor import TrafficMonitor
+    from repro.net.packet import Packet
+    from repro.topology.figure10 import build_figure10
+
+    sim = Simulator(seed=seed)
+    fig = build_figure10(sim)
+    net = fig.network
+    group = net.create_group("flood")
+
+    def sink(packet) -> None:
+        return None
+
+    for node in fig.receivers:
+        net.subscribe(group.group_id, node, sink)
+    monitor = TrafficMonitor()
+    net.add_observer(monitor)
+
+    def send() -> None:
+        net.multicast(fig.source, Packet("DATA", fig.source, group.group_id, 1024))
+
+    for i in range(n_packets):
+        sim.at(i * 0.002, send)
+    sim.run()
+    return monitor, sim
+
+
+def bench_packets(n_packets: int = 512, seed: int = 3, repeats: int = 2) -> Dict[str, float]:
+    """Packet deliveries/sec for the forwarding-only flood workload."""
+    wall, result = _best_wall(lambda: run_flood(n_packets, seed), repeats)
+    monitor, sim = result
+    delivered = monitor.total(["DATA"])
+    return {
+        "packets_delivered": float(delivered),
+        "events_fired": float(sim.events_fired),
+        "wall_s": wall,
+        "packets_per_sec": delivered / wall,
+        "events_per_sec": sim.events_fired / wall,
+    }
+
+
+# ------------------------------------------------------------------- codec
+
+
+def _codec_workload(codec_cls, k: int, width: int, groups: int, n_repairs: int) -> Dict[str, float]:
+    codec = codec_cls(k)
+    data = [bytes((i * 31 + j) % 256 for j in range(width)) for i in range(k)]
+    encode_bytes = groups * k * width
+
+    def encode():
+        for _ in range(groups):
+            codec.encode(data, n_repairs)
+
+    enc_wall, _ = _best_wall(encode, 1)
+
+    repairs = codec.encode(data, n_repairs)
+    lossy = {i: data[i] for i in range(n_repairs, k)}
+    for r in range(n_repairs):
+        lossy[k + r] = repairs[r]
+    decode_bytes = groups * k * width
+
+    def decode():
+        for _ in range(groups):
+            codec.decode(lossy)
+
+    dec_wall, _ = _best_wall(decode, 1)
+    return {
+        "encode_mb_per_sec": encode_bytes / MB / enc_wall,
+        "decode_mb_per_sec": decode_bytes / MB / dec_wall,
+    }
+
+
+def bench_codec(k: int = 16, width: int = 1024, groups: int = 32, n_repairs: int = 4) -> Dict[str, float]:
+    """Erasure-codec throughput: the default codec plus both named paths."""
+    from repro.fec import ErasureCodec
+
+    try:
+        from repro.fec import default_codec
+    except ImportError:  # pre-optimization trees: the pure codec was the default
+        default_codec = ErasureCodec
+
+    out: Dict[str, float] = {}
+    pure = _codec_workload(ErasureCodec, k, width, groups, n_repairs)
+    out["pure_encode_mb_per_sec"] = pure["encode_mb_per_sec"]
+    out["pure_decode_mb_per_sec"] = pure["decode_mb_per_sec"]
+    default_cls = type(default_codec(k))
+    default = _codec_workload(default_cls, k, width, groups, n_repairs)
+    out["default_codec"] = default_cls.__name__
+    out["encode_mb_per_sec"] = default["encode_mb_per_sec"]
+    out["decode_mb_per_sec"] = default["decode_mb_per_sec"]
+    return out
+
+
+# ---------------------------------------------------------------- figure 11
+
+
+def bench_fig11(seed: int = 1, repeats: int = 3) -> Dict[str, float]:
+    """End-to-end wall clock of the Figure 11 session/RTT experiment."""
+    from repro.experiments.session_sim import run_rtt_experiment
+
+    wall, result = _best_wall(lambda: run_rtt_experiment(role="head", seed=seed), repeats)
+    return {
+        "wall_s": wall,
+        "rounds": float(len(result.rounds)),
+    }
+
+
+def run_suite(repeats: int = 3) -> Dict[str, Dict[str, float]]:
+    """Run every kernel; returns {bench_name: measurements}."""
+    return {
+        "event_core": bench_events(repeats=repeats),
+        "forwarding": bench_packets(repeats=max(2, repeats - 1)),
+        "codec": bench_codec(),
+        "fig11": bench_fig11(repeats=repeats),
+    }

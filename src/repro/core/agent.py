@@ -8,7 +8,7 @@ ZLC sampling that drives it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.config import SharqfecConfig
 from repro.core.injection import EwmaPredictor
@@ -65,6 +65,14 @@ class SharqfecEndpoint:
         self._reply_rng = sim.rng.stream(f"sharqfec.reply.{node_id}")
         self._joined = False
         self._stopped = False
+        # Session-channel dispatch by exact PDU type (the hot path; none of
+        # these PDU classes is subclassed).
+        self._session_dispatch: Dict[type, Callable] = {
+            SessionPdu: self.session.handle_session,
+            ZcrChallengePdu: self.election.handle_challenge,
+            ZcrResponsePdu: self.election.handle_response,
+            ZcrTakeoverPdu: self.election.handle_takeover,
+        }
         # Per-zone accounting for run reports.
         self.repairs_by_zone: Dict[int, int] = {}
         self.nacks_by_zone: Dict[int, int] = {}
@@ -160,14 +168,9 @@ class SharqfecEndpoint:
     def _on_session_channel(self, packet: Packet) -> None:
         if packet.src == self.node_id or self._stopped:
             return
-        if isinstance(packet, SessionPdu):
-            self.session.handle_session(packet)
-        elif isinstance(packet, ZcrChallengePdu):
-            self.election.handle_challenge(packet)
-        elif isinstance(packet, ZcrResponsePdu):
-            self.election.handle_response(packet)
-        elif isinstance(packet, ZcrTakeoverPdu):
-            self.election.handle_takeover(packet)
+        handler = self._session_dispatch.get(type(packet))
+        if handler is not None:
+            handler(packet)
 
     # ------------------------------------------------------------ group state
 

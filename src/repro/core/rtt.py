@@ -28,8 +28,9 @@ class RttTable:
         self.ewma_keep = ewma_keep
         # peer -> smoothed RTT estimate (seconds)
         self._estimates: Dict[int, float] = {}
-        # (zone_id, peer) -> (peer's send timestamp, our receive time)
-        self._heard: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        # zone_id -> peer -> (peer's send timestamp, our receive time);
+        # indexed by zone because every session send reads one zone's worth.
+        self._heard: Dict[int, Dict[int, Tuple[float, float]]] = {}
         # zcr -> peer -> RTT the ZCR advertises to that peer
         self._zcr_peer_rtts: Dict[int, Dict[int, float]] = {}
 
@@ -65,31 +66,38 @@ class RttTable:
     def forget(self, peer: int) -> None:
         """Drop all state about a departed peer."""
         self._estimates.pop(peer, None)
-        for key in [k for k in self._heard if k[1] == peer]:
-            del self._heard[key]
+        for zone_heard in self._heard.values():
+            zone_heard.pop(peer, None)
         self._zcr_peer_rtts.pop(peer, None)
 
     # ---------------------------------------------------------------- echoing
 
     def record_heard(self, zone_id: int, peer: int, peer_timestamp: float, now: float) -> None:
         """Remember a session message so the next one of ours can echo it."""
-        self._heard[(zone_id, peer)] = (peer_timestamp, now)
+        zone_heard = self._heard.get(zone_id)
+        if zone_heard is None:
+            zone_heard = self._heard[zone_id] = {}
+        zone_heard[peer] = (peer_timestamp, now)
 
     def heard_in_zone(self, zone_id: int) -> Dict[int, Tuple[float, float]]:
-        """Peers heard in a zone: peer -> (their timestamp, our recv time)."""
-        return {
-            peer: info for (zid, peer), info in self._heard.items() if zid == zone_id
-        }
+        """Peers heard in a zone: peer -> (their timestamp, our recv time).
+
+        A live view — callers must not mutate it.
+        """
+        return self._heard.get(zone_id) or {}
 
     def prune_stale(self, now: float, timeout: float) -> List[int]:
         """Drop peers not heard within ``timeout``; returns their ids."""
-        stale = [
-            key for key, (_ts, recv_at) in self._heard.items()
-            if now - recv_at > timeout
-        ]
-        for key in stale:
-            del self._heard[key]
-        return sorted({peer for (_zid, peer) in stale})
+        dropped = set()
+        for zone_heard in self._heard.values():
+            stale = [
+                peer for peer, (_ts, recv_at) in zone_heard.items()
+                if now - recv_at > timeout
+            ]
+            for peer in stale:
+                del zone_heard[peer]
+            dropped.update(stale)
+        return sorted(dropped)
 
     def close_echo(self, peer: int, peer_sent_at: float, elapsed: float, now: float) -> float:
         """Finish an RTT measurement from an echoed entry about ourselves.

@@ -157,7 +157,9 @@ def encode_blob(blob: bytes, k: int, n_repairs: int) -> Tuple[bytes, List[bytes]
         raise CodecError("blob too large for a single group; shard it")
     padded = blob + b"\x00" * (k * width - len(blob))
     data = [padded[i * width : (i + 1) * width] for i in range(k)]
-    codec = ErasureCodec(k)
+    from repro.fec.fast import default_codec  # deferred: fast imports this module
+
+    codec = default_codec(k)
     repairs = codec.encode(data, n_repairs)
     header = _BLOB_HEADER.pack(len(blob), k, width)
     return header, data, repairs
@@ -169,7 +171,9 @@ def decode_blob(header: bytes, packets: Dict[int, bytes]) -> bytes:
         original_len, k, width = _BLOB_HEADER.unpack(header)
     except struct.error as exc:
         raise CodecError(f"bad blob header: {exc}") from exc
-    codec = ErasureCodec(k)
+    from repro.fec.fast import default_codec  # deferred: fast imports this module
+
+    codec = default_codec(k)
     for index, payload in packets.items():
         if len(payload) != width:
             raise CodecError(f"packet {index} width {len(payload)} != header width {width}")

@@ -17,11 +17,30 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-import numpy as np
+try:  # Optional dependency: the pure-Python codec covers numpy-less hosts.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
 
 from repro.errors import CodecError
 from repro.fec.codec import ErasureCodec
 from repro.fec.gf256 import GF256
+
+HAVE_NUMPY = np is not None
+
+
+def default_codec(k: int):
+    """The preferred codec for group size ``k``.
+
+    The numpy-vectorized codec when numpy is importable (and
+    ``SHARQFEC_PURE_FEC`` does not force the reference path), else the
+    pure-Python codec.  Byte-identical output either way.
+    """
+    import os
+
+    if HAVE_NUMPY and os.environ.get("SHARQFEC_PURE_FEC", "0") != "1":
+        return NumpyErasureCodec(k)
+    return ErasureCodec(k)
 
 
 def _build_mul_table() -> "np.ndarray":
@@ -36,7 +55,9 @@ def _build_mul_table() -> "np.ndarray":
     return table
 
 
-_MUL = _build_mul_table()
+# Built lazily on first codec construction: the 64K-entry table costs tens
+# of milliseconds, which identity-only simulations should not pay at import.
+_MUL = None
 
 
 class NumpyErasureCodec:
@@ -45,6 +66,13 @@ class NumpyErasureCodec:
     MAX_PACKETS = ErasureCodec.MAX_PACKETS
 
     def __init__(self, k: int) -> None:
+        if np is None:
+            raise CodecError(
+                "NumpyErasureCodec requires numpy; use ErasureCodec instead"
+            )
+        global _MUL
+        if _MUL is None:
+            _MUL = _build_mul_table()
         # Reuse the reference codec for row generation and validation so
         # the two implementations cannot drift apart.
         self._reference = ErasureCodec(k)

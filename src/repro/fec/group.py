@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.errors import CodecError
 from repro.fec.codec import ErasureCodec
+from repro.fec.fast import default_codec
 
 
 class GroupAssembler:
@@ -20,7 +21,7 @@ class GroupAssembler:
     def __init__(self, k: int, group_id: int = 0, codec: Optional[ErasureCodec] = None) -> None:
         self.k = k
         self.group_id = group_id
-        self._codec = codec if codec is not None else ErasureCodec(k)
+        self._codec = codec if codec is not None else default_codec(k)
         self._payloads: Dict[int, bytes] = {}
         self._indices: Set[int] = set()
         self.duplicates = 0

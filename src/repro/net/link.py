@@ -49,6 +49,7 @@ class Link:
         "packets_dropped",
         "queue_drops",
         "bytes_sent",
+        "_ser_cache",
     )
 
     def __init__(
@@ -86,10 +87,25 @@ class Link:
         self.packets_dropped = 0
         self.queue_drops = 0
         self.bytes_sent = 0
+        # Serialization delay memo keyed by packet size: protocols use a
+        # handful of fixed PDU sizes, and the forwarding fast path pays
+        # this per hop.  Invalidated by set_bandwidth().
+        self._ser_cache: dict = {}
 
     def serialization_delay(self, size_bytes: int) -> float:
-        """Time to clock ``size_bytes`` onto the wire."""
-        return (size_bytes * 8.0) / self.bandwidth_bps
+        """Time to clock ``size_bytes`` onto the wire (memoized per size)."""
+        delay = self._ser_cache.get(size_bytes)
+        if delay is None:
+            delay = (size_bytes * 8.0) / self.bandwidth_bps
+            self._ser_cache[size_bytes] = delay
+        return delay
+
+    def set_bandwidth(self, bandwidth_bps: float) -> None:
+        """Change the link rate (drops the serialization-delay memo)."""
+        if bandwidth_bps <= 0:
+            raise TopologyError(f"link {self.src}->{self.dst}: bandwidth must be positive")
+        self.bandwidth_bps = float(bandwidth_bps)
+        self._ser_cache.clear()
 
     def transmit(self, now: float, size_bytes: int) -> Optional[float]:
         """Account for one transmission and return the arrival time at dst.
@@ -102,7 +118,10 @@ class Link:
         backlog already holds ``queue_limit`` packets' worth of
         serialization time); the caller must treat that as a loss.
         """
-        tx_time = self.serialization_delay(size_bytes)
+        tx_time = self._ser_cache.get(size_bytes)
+        if tx_time is None:
+            tx_time = (size_bytes * 8.0) / self.bandwidth_bps
+            self._ser_cache[size_bytes] = tx_time
         if self.queue_limit is not None and now < self.busy_until:
             backlog = (self.busy_until - now) / max(tx_time, 1e-12)
             if backlog >= self.queue_limit:

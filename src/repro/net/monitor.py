@@ -38,13 +38,12 @@ class TrafficMonitor:
             raise ValueError("bin_width must be positive")
         self.bin_width = float(bin_width)
         self.count_forwarding = count_forwarding
-        # (kind, node) -> {bin_index: packet_count}
-        self._bins: Dict[Tuple[str, int], Dict[int, int]] = {}
+        # (kind, node) -> [ {bin_index: packet_count}, total_packets,
+        # total_bytes ] — one record per key so the per-arrival hot path
+        # hashes the key once instead of updating three parallel dicts.
+        self._stats: Dict[Tuple[str, int], list] = {}
         # (kind, node) -> {bin_index: packets sent by that node}
         self._send_bins: Dict[Tuple[str, int], Dict[int, int]] = {}
-        # (kind, node) -> total packets / bytes
-        self._totals: Dict[Tuple[str, int], int] = {}
-        self._total_bytes: Dict[Tuple[str, int], int] = {}
         self.sends: Dict[str, int] = {}
         self.drops: int = 0
 
@@ -63,14 +62,14 @@ class TrafficMonitor:
         if not event.subscriber and not self.count_forwarding:
             return
         key = (event.kind, event.node)
+        record = self._stats.get(key)
+        if record is None:
+            record = self._stats[key] = [{}, 0, 0]
+        bins = record[0]
         index = int(event.time / self.bin_width)
-        bins = self._bins.get(key)
-        if bins is None:
-            bins = {}
-            self._bins[key] = bins
         bins[index] = bins.get(index, 0) + 1
-        self._totals[key] = self._totals.get(key, 0) + 1
-        self._total_bytes[key] = self._total_bytes.get(key, 0) + event.size_bytes
+        record[1] += 1
+        record[2] += event.size_bytes
 
     def on_drop(self, event: PacketEvent) -> None:
         """Record a packet lost on a link."""
@@ -80,24 +79,24 @@ class TrafficMonitor:
 
     def nodes_seen(self) -> List[int]:
         """All node ids with at least one counted arrival."""
-        return sorted({node for (_, node) in self._bins})
+        return sorted({node for (_, node) in self._stats})
 
     def total(self, kinds: Iterable[str], node: Optional[int] = None) -> int:
         """Total packets of the given kinds (at one node, or at all nodes)."""
         kinds = set(kinds)
         total = 0
-        for (kind, n), count in self._totals.items():
+        for (kind, n), record in self._stats.items():
             if kind in kinds and (node is None or n == node):
-                total += count
+                total += record[1]
         return total
 
     def total_bytes(self, kinds: Iterable[str], node: Optional[int] = None) -> int:
         """Total bytes of the given kinds (at one node, or at all nodes)."""
         kinds = set(kinds)
         total = 0
-        for (kind, n), count in self._total_bytes.items():
+        for (kind, n), record in self._stats.items():
             if kind in kinds and (node is None or n == node):
-                total += count
+                total += record[2]
         return total
 
     def series(
@@ -113,10 +112,10 @@ class TrafficMonitor:
         """
         kinds = set(kinds)
         merged: Dict[int, int] = {}
-        for (kind, n), bins in self._bins.items():
+        for (kind, n), record in self._stats.items():
             if n != node or kind not in kinds:
                 continue
-            for index, count in bins.items():
+            for index, count in record[0].items():
                 merged[index] = merged.get(index, 0) + count
         if not merged and t_end is None:
             return []

@@ -15,6 +15,7 @@ duration of the delay (as with a real IGP), then traffic reroutes around
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import RoutingError, ScopeError, TopologyError
@@ -45,10 +46,33 @@ class Network:
         self.groups: Dict[int, MulticastGroup] = {}
         self._next_group_id = 1
         self._tree_cache: Dict[Tuple[int, int], Tuple[int, Dict[int, List[int]]]] = {}
+        # Compiled delivery schedules: (group_id, src) -> (stamp, root record).
+        # A record is (node_id, node, group, kids) with kids a tuple of
+        # (link, child_record) pairs — the whole per-hop fan-out resolved
+        # once per (tree, topology version) instead of per packet.
+        self._sched_cache: Dict[Tuple[int, int], Tuple[int, tuple]] = {}
         self._routing_cache: Dict[int, RoutingTable] = {}
         self._topology_version = 0
         self._observers: List[object] = []
+        # Per-method pre-resolved observer callbacks, rebuilt on attach/
+        # detach so the forwarding fast path skips getattr dispatch.
+        self._obs_send: tuple = ()
+        self._obs_receive: tuple = ()
+        self._obs_drop: tuple = ()
         self._loss_rng = sim.rng.stream("net.loss")
+        self._loss_random = self._loss_rng.random
+        #: When True (default) multicast forwarding walks compiled per-hop
+        #: delivery schedules; False falls back to the reference per-packet
+        #: children-dict walk.  Both paths are replay-identical — the flag
+        #: exists so the equivalence tests can prove it.
+        self.compiled_forwarding = (
+            os.environ.get("SHARQFEC_COMPILED_FORWARDING", "1") != "0"
+        )
+        # Memoized tracer interest flags, refreshed when the tracer's
+        # subscription table version changes (see _refresh_trace_flags).
+        self._trace_version = -1
+        self._t_send = self._t_recv = self._t_drop = False
+        self._t_qdrop = self._t_nodedrop = self._t_stifled = self._t_noroute = False
         # Optional deterministic loss oracle: callable(link, packet) -> bool
         # (True = drop).  When set it replaces the Bernoulli draws entirely;
         # conformance tests use it to script exact loss patterns.
@@ -81,7 +105,25 @@ class Network:
             return self.loss_oracle(link, packet)
         if model is not None:
             return model.drops(self.sim.now)
-        return link.loss_rate > 0.0 and self._loss_rng.random() < link.loss_rate
+        return link.loss_rate > 0.0 and self._loss_random() < link.loss_rate
+
+    def _refresh_trace_flags(self) -> None:
+        """Memoize per-category tracer interest (cleared on version bump).
+
+        The forwarding engine consults plain booleans per hop instead of
+        paying an ``emit`` call that would early-return anyway — tracing
+        is zero-cost when nobody subscribed.
+        """
+        tracer = self.sim.tracer
+        self._trace_version = tracer.version
+        wants = tracer.wants
+        self._t_send = wants("pkt.send")
+        self._t_recv = wants("pkt.recv")
+        self._t_drop = wants("pkt.drop")
+        self._t_qdrop = wants("pkt.qdrop")
+        self._t_nodedrop = wants("pkt.nodedrop")
+        self._t_stifled = wants("pkt.stifled")
+        self._t_noroute = wants("pkt.noroute")
 
     # ---------------------------------------------------------------- builders
 
@@ -202,6 +244,7 @@ class Network:
     def _invalidate(self) -> None:
         self._topology_version += 1
         self._tree_cache.clear()
+        self._sched_cache.clear()
         self._routing_cache.clear()
 
     def _structural_change(self) -> None:
@@ -289,10 +332,24 @@ class Network:
     def add_observer(self, observer: object) -> None:
         """Attach a traffic observer (``on_send`` / ``on_receive`` / ``on_drop``)."""
         self._observers.append(observer)
+        self._rebuild_observer_cache()
 
     def remove_observer(self, observer: object) -> None:
         """Detach a previously attached observer."""
         self._observers.remove(observer)
+        self._rebuild_observer_cache()
+
+    def _rebuild_observer_cache(self) -> None:
+        observers = self._observers
+        self._obs_send = tuple(
+            cb for cb in (getattr(o, "on_send", None) for o in observers) if cb
+        )
+        self._obs_receive = tuple(
+            cb for cb in (getattr(o, "on_receive", None) for o in observers) if cb
+        )
+        self._obs_drop = tuple(
+            cb for cb in (getattr(o, "on_drop", None) for o in observers) if cb
+        )
 
     def _notify(self, method: str, event: PacketEvent) -> None:
         for observer in self._observers:
@@ -314,9 +371,22 @@ class Network:
             raise ScopeError(
                 f"node {src} cannot send on group {group.name!r}: outside scope"
             )
+        if self.sim.tracer.version != self._trace_version:
+            self._refresh_trace_flags()
         if not self.nodes[src].up:
             # A crashed host's transmissions die at the NIC.
-            self.sim.tracer.emit(self.sim.now, "pkt.stifled", src, packet)
+            if self._t_stifled:
+                self.sim.tracer.emit(self.sim.now, "pkt.stifled", src, packet)
+            return
+        if self.compiled_forwarding:
+            record = self._schedule_for(src, group)
+            if self._obs_send:
+                event = PacketEvent(self.sim.now, src, packet.kind, packet.size_bytes, True)
+                for callback in self._obs_send:
+                    callback(event)
+            if self._t_send:
+                self.sim.tracer.emit(self.sim.now, "pkt.send", src, packet)
+            self._forward_fast(record, packet)
             return
         children = self._tree_for(src, group)
         if self._observers:
@@ -324,7 +394,8 @@ class Network:
                 "on_send",
                 PacketEvent(self.sim.now, src, packet.kind, packet.size_bytes, True),
             )
-        self.sim.tracer.emit(self.sim.now, "pkt.send", src, packet)
+        if self._t_send:
+            self.sim.tracer.emit(self.sim.now, "pkt.send", src, packet)
         self._forward_hops(children, src, packet)
 
     def _tree_for(self, src: int, group: MulticastGroup) -> Dict[int, List[int]]:
@@ -358,6 +429,134 @@ class Network:
                 )
         self._tree_cache[key] = (stamp, children)
         return children
+
+    # ------------------------------------------------- compiled fast path
+
+    def _schedule_for(self, src: int, group: MulticastGroup) -> tuple:
+        """Compiled per-hop delivery schedule for the (group, src) tree.
+
+        Flattens the cached children dict into linked records —
+        ``(node_id, node, group, kids)`` with ``kids`` a tuple of
+        ``(link, child_record)`` — so the per-packet inner loop touches no
+        dicts at all: links, nodes and the group are resolved once per
+        topology/membership version.  Liveness (node.up) and membership
+        (group.subscribers) stay dynamic, so faults and churn behave
+        exactly like the reference walk.
+        """
+        key = (group.group_id, src)
+        stamp = group.version + (self._topology_version << 32)
+        cached = self._sched_cache.get(key)
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        children = self._tree_for(src, group)
+        record = self._compile_record(src, group, children)
+        self._sched_cache[key] = (stamp, record)
+        return record
+
+    def _compile_record(
+        self, node: int, group: MulticastGroup, children: Dict[int, List[int]]
+    ) -> tuple:
+        links = self._links
+        kids = tuple(
+            (links[(node, child)], self._compile_record(child, group, children))
+            for child in children.get(node, ())
+        )
+        return (node, self.nodes[node], group, kids)
+
+    def _forward_fast(self, record: tuple, packet: Packet) -> None:
+        kids = record[3]
+        if not kids:
+            return
+        now = self.sim._now
+        size = packet.size_bytes
+        obs_drop = self._obs_drop
+        push_call = self.sim.queue.push_call
+        arrive = self._arrive_fast
+        loss_random = self._loss_random
+        exempt = packet.loss_exempt
+        plain = self.loss_oracle is None
+        for link, child_record in kids:
+            # Inlined _drops() for the memoryless common case (no stateful
+            # loss model, no oracle): same checks, same RNG consumption.
+            if plain and link.loss_model is None:
+                if link.up:
+                    dropped = (
+                        not exempt
+                        and link.loss_rate > 0.0
+                        and loss_random() < link.loss_rate
+                    )
+                else:
+                    dropped = True
+            else:
+                dropped = self._drops(link, packet)
+            if dropped:
+                link.packets_dropped += 1
+                if obs_drop:
+                    event = PacketEvent(now, child_record[0], packet.kind, size, False)
+                    for callback in obs_drop:
+                        callback(event)
+                if self._t_drop:
+                    self.sim.tracer.emit(now, "pkt.drop", child_record[0], packet)
+                continue
+            if link.queue_limit is None:
+                # Inlined link.transmit() for the unbounded-FIFO common
+                # case: same accounting, no method call per hop.
+                tx_time = link._ser_cache.get(size)
+                if tx_time is None:
+                    tx_time = link.serialization_delay(size)
+                busy = link.busy_until
+                tx_done = (now if now > busy else busy) + tx_time
+                link.busy_until = tx_done
+                link.packets_sent += 1
+                link.bytes_sent += size
+                arrival = tx_done + link.latency_s
+            else:
+                arrival = link.transmit(now, size)
+                if arrival is None:  # drop-tail queue overflow
+                    if obs_drop:
+                        event = PacketEvent(now, child_record[0], packet.kind, size, False)
+                        for callback in obs_drop:
+                            callback(event)
+                    if self._t_qdrop:
+                        self.sim.tracer.emit(now, "pkt.qdrop", child_record[0], packet)
+                    continue
+            push_call(arrival, arrive, (packet, child_record))
+
+    def _arrive_fast(self, packet: Packet, record: tuple) -> None:
+        node_id, node, group, kids = record
+        sim = self.sim
+        now = sim._now  # arrival fires at its scheduled time; skip the property
+        if sim.tracer.version != self._trace_version:
+            self._refresh_trace_flags()
+        if not node.up:
+            # The packet reached a crashed node: neither delivered to local
+            # handlers nor forwarded into the subtree below.
+            if self._obs_drop:
+                event = PacketEvent(now, node_id, packet.kind, packet.size_bytes, False)
+                for callback in self._obs_drop:
+                    callback(event)
+            if self._t_nodedrop:
+                sim.tracer.emit(now, "pkt.nodedrop", node_id, packet)
+            return
+        is_subscriber = node_id in group.subscribers
+        obs_receive = self._obs_receive
+        if obs_receive:
+            event = PacketEvent(now, node_id, packet.kind, packet.size_bytes, is_subscriber)
+            for callback in obs_receive:
+                callback(event)
+        if is_subscriber:
+            if self._t_recv:
+                sim.tracer.emit(now, "pkt.recv", node_id, packet)
+            # Inlined node.deliver(): the handler tuples are copy-on-write,
+            # so iterating the snapshot directly is re-entrancy safe.
+            handlers = node._handlers.get(packet.group)
+            if handlers:
+                for handler in handlers:
+                    handler(packet)
+        if kids:
+            self._forward_fast(record, packet)
+
+    # ---------------------------------------------- reference (dict walk)
 
     def _forward_hops(self, children: Dict[int, List[int]], node: int, packet: Packet) -> None:
         kids = children.get(node)
@@ -415,8 +614,11 @@ class Network:
         """Send a unicast packet hop-by-hop along the shortest path."""
         if packet.dst not in self.nodes:
             raise RoutingError(f"unknown destination {packet.dst}")
+        if self.sim.tracer.version != self._trace_version:
+            self._refresh_trace_flags()
         if not self.nodes[packet.src].up:
-            self.sim.tracer.emit(self.sim.now, "pkt.stifled", packet.src, packet)
+            if self._t_stifled:
+                self.sim.tracer.emit(self.sim.now, "pkt.stifled", packet.src, packet)
             return
         table = self.routing_table(packet.src)
         try:
@@ -424,7 +626,8 @@ class Network:
         except RoutingError:
             # No converged route (severed by faults): the packet dies at
             # the source, like an IP lookup miss.
-            self.sim.tracer.emit(self.sim.now, "pkt.noroute", packet.src, packet)
+            if self._t_noroute:
+                self.sim.tracer.emit(self.sim.now, "pkt.noroute", packet.src, packet)
             return
         if self._observers:
             self._notify(
@@ -469,7 +672,7 @@ class Network:
                     PacketEvent(self.sim.now, nxt, packet.kind, packet.size_bytes, False),
                 )
             return
-        self.sim.at(arrival, self._unicast_hop, packet, path, index + 1)
+        self.sim.call_at(arrival, self._unicast_hop, packet, path, index + 1)
 
     # ------------------------------------------------------------------- query
 

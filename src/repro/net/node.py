@@ -7,7 +7,7 @@ object holds per-group delivery callbacks registered by protocol agents.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.packet import Packet
 
@@ -27,22 +27,28 @@ class Node:
         # but everything they transmit is swallowed at the NIC, which models
         # a host whose network interface died and later came back.
         self.up = True
-        self._handlers: Dict[int, List[DeliveryHandler]] = {}
+        # Copy-on-write handler tuples: delivery iterates them without a
+        # defensive copy, and (un)subscribing mid-delivery replaces the
+        # tuple rather than mutating the one being iterated.
+        self._handlers: Dict[int, Tuple[DeliveryHandler, ...]] = {}
         self._unicast_handler: Optional[DeliveryHandler] = None
 
     # ----------------------------------------------------------- subscription
 
     def add_handler(self, group: int, handler: DeliveryHandler) -> None:
         """Register a callback for packets delivered on ``group``."""
-        self._handlers.setdefault(group, []).append(handler)
+        self._handlers[group] = self._handlers.get(group, ()) + (handler,)
 
     def remove_handler(self, group: int, handler: DeliveryHandler) -> None:
         """Remove a callback (ValueError if it was never registered)."""
         handlers = self._handlers.get(group)
         if not handlers or handler not in handlers:
             raise ValueError(f"handler not registered for group {group} at {self.name}")
-        handlers.remove(handler)
-        if not handlers:
+        index = handlers.index(handler)
+        remaining = handlers[:index] + handlers[index + 1 :]
+        if remaining:
+            self._handlers[group] = remaining
+        else:
             del self._handlers[group]
 
     def set_unicast_handler(self, handler: Optional[DeliveryHandler]) -> None:
@@ -59,8 +65,7 @@ class Node:
         """Hand a multicast packet to every handler subscribed to its group."""
         handlers = self._handlers.get(packet.group)
         if handlers:
-            # Copy: a handler may (un)subscribe while we iterate.
-            for handler in list(handlers):
+            for handler in handlers:
                 handler(packet)
 
     def deliver_unicast(self, packet: Packet) -> None:

@@ -47,6 +47,11 @@ class Simulator:
         """Number of live events still queued."""
         return len(self._queue)
 
+    @property
+    def queue(self) -> EventQueue:
+        """The underlying event queue (hot paths may push directly)."""
+        return self._queue
+
     # -------------------------------------------------------------- schedule
 
     def schedule(
@@ -66,9 +71,54 @@ class Simulator:
             raise SimulationError(f"cannot schedule at {time!r}, now is {self._now!r}")
         return self._queue.push(time, callback, args)
 
+    def call_at(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Schedule a fire-and-forget callback with no cancellable handle.
+
+        Same ordering semantics as :meth:`at` (one tie-break sequence is
+        consumed either way); hot paths that never cancel use this to skip
+        the Event allocation.
+        """
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time!r}, now is {self._now!r}")
+        self._queue.push_call(time, callback, args)
+
     def cancel(self, event: Event) -> None:
-        """Cancel a scheduled event (no-op if already cancelled)."""
+        """Cancel a scheduled event (no-op if already cancelled or fired)."""
         self._queue.cancel(event)
+
+    def reschedule(self, event: Event, delay: float) -> Event:
+        """Re-arm a still-pending event ``delay`` seconds from now.
+
+        Equivalent to cancel+schedule (same callback, same tie-break
+        sequence consumption) but reuses the event object — the fast path
+        for restart-heavy timers.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._queue.reschedule(event, self._now + delay)
+
+    def reschedule_at(self, event: Event, time: float) -> Event:
+        """Re-arm a still-pending event at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time!r}, now is {self._now!r}")
+        return self._queue.reschedule(event, time)
+
+    def rearm(self, event: Event, delay: float) -> Event:
+        """Re-arm an already-fired event ``delay`` seconds from now.
+
+        Object reuse for repeating timers: same ordering semantics as
+        :meth:`schedule` (one tie-break sequence consumed) without the
+        Event allocation.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._queue.rearm_fired(event, self._now + delay)
+
+    def rearm_at(self, event: Event, time: float) -> Event:
+        """Re-arm an already-fired event at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule at {time!r}, now is {self._now!r}")
+        return self._queue.rearm_fired(event, time)
 
     # ------------------------------------------------------------------- run
 
@@ -88,29 +138,26 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        # The loop is the simulator's hottest path: one fused pop per event
+        # (no separate peek), locals bound outside the loop.
+        pop_next = self._queue.pop_next
         try:
-            while True:
-                if self._stopped:
+            while not self._stopped:
+                item = pop_next(until)
+                if item is None:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                event = self._queue.pop()
-                if event is None:  # pragma: no cover - race with peek
-                    break
-                self._now = event.time
-                event.fire()
-                self._events_fired += 1
+                self._now = item[0]
+                item[-2](*item[-1])
                 fired += 1
                 if max_events is not None and fired >= max_events:
+                    self._events_fired += fired
+                    fired = 0
                     raise SimulationError(f"exceeded max_events={max_events}")
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
             return self._now
         finally:
+            self._events_fired += fired
             self._running = False
 
     def stop(self) -> None:

@@ -36,7 +36,8 @@ class Timer:
     @property
     def running(self) -> bool:
         """True while an expiry is pending."""
-        return self._event is not None and not self._event.cancelled
+        event = self._event
+        return event is not None and not event.cancelled and not event.fired
 
     @property
     def expires_at(self) -> Optional[float]:
@@ -48,14 +49,30 @@ class Timer:
 
     def start(self, delay: float) -> None:
         """Arm the timer ``delay`` seconds from now.  Errors if running."""
-        if self.running:
-            raise TimerError(f"timer {self.name!r} already running")
-        self._event = self._sim.schedule(delay, self._fire)
+        event = self._event
+        if event is not None and not event.cancelled:
+            if not event.fired:
+                raise TimerError(f"timer {self.name!r} already running")
+            self._sim.rearm(event, delay)
+        else:
+            self._event = self._sim.schedule(delay, self._fire)
 
     def restart(self, delay: float) -> None:
-        """Cancel any pending expiry and arm ``delay`` seconds from now."""
-        self.cancel()
-        self._event = self._sim.schedule(delay, self._fire)
+        """(Re-)arm ``delay`` seconds from now, cancelling any pending expiry.
+
+        A pending expiry is re-armed *in place* and a fired one is recycled
+        (the event object is reused and only its heap entry is replaced) —
+        suppression-style protocols restart timers far more often than they
+        let them fire, so this avoids an allocation and a cancel per
+        re-draw, and repeating timers allocate once over their lifetime.
+        """
+        event = self._event
+        if event is None or event.cancelled:
+            self._event = self._sim.schedule(delay, self._fire)
+        elif event.fired:
+            self._sim.rearm(event, delay)
+        else:
+            self._sim.reschedule(event, delay)
 
     def extend_to(self, time: float) -> None:
         """Ensure the timer fires no earlier than absolute ``time``.
@@ -63,10 +80,13 @@ class Timer:
         Used by the LDP timer when later packets push out the estimated
         end-of-group arrival time.
         """
-        if self.running and self.expires_at is not None and self.expires_at >= time:
-            return
-        self.cancel()
-        self._event = self._sim.at(time, self._fire)
+        event = self._event
+        if event is None or event.cancelled:
+            self._event = self._sim.at(time, self._fire)
+        elif event.fired:
+            self._sim.rearm_at(event, time)
+        elif event.time < time:
+            self._sim.reschedule_at(event, time)
 
     def cancel(self) -> None:
         """Disarm the timer if pending (idempotent)."""
@@ -75,7 +95,8 @@ class Timer:
             self._event = None
 
     def _fire(self) -> None:
-        self._event = None
+        # The fired event object is retained so restart()/start() can
+        # recycle it via Simulator.rearm instead of allocating a new one.
         self._callback()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -3,6 +3,13 @@
 The experiment drivers attach listeners to record packet events (send,
 receive, drop) without the protocol code knowing who is watching.  Records
 are cheap named tuples; heavy aggregation lives in ``repro.analysis``.
+
+Tracing is designed to be zero-cost when off: the subscription table is
+*versioned*, and :meth:`Tracer.wants` answers "would an emit for this
+category reach anyone?" from a memo that survives until the table changes.
+Hot-path code (the forwarding engine, protocol agents) caches ``wants``
+answers against :attr:`Tracer.version` and skips both the ``emit`` call
+and any ``detail`` payload construction entirely when nobody listens.
 """
 
 from __future__ import annotations
@@ -39,7 +46,34 @@ class Tracer:
     def __init__(self) -> None:
         self._listeners: Dict[str, List[Listener]] = {}
         self._any: List[Listener] = []
-        self.enabled = True
+        self._enabled = True
+        self._version = 0
+        self._wants_memo: Dict[str, bool] = {}
+
+    @property
+    def version(self) -> int:
+        """Bumped on every subscription-table or enable/disable change.
+
+        Callers caching :meth:`wants` answers compare this to decide when
+        to refresh.
+        """
+        return self._version
+
+    @property
+    def enabled(self) -> bool:
+        """Master switch; False silences every emit."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._enabled:
+            self._enabled = value
+            self._bump()
+
+    def _bump(self) -> None:
+        self._version += 1
+        self._wants_memo.clear()
 
     def subscribe(self, category: Optional[str], listener: Listener) -> None:
         """Register ``listener`` for ``category`` (None means every record)."""
@@ -47,6 +81,7 @@ class Tracer:
             self._any.append(listener)
         else:
             self._listeners.setdefault(category, []).append(listener)
+        self._bump()
 
     def unsubscribe(self, category: Optional[str], listener: Listener) -> None:
         """Remove a previously registered listener (ValueError if absent)."""
@@ -54,6 +89,7 @@ class Tracer:
             self._any.remove(listener)
         else:
             self._listeners[category].remove(listener)
+        self._bump()
 
     def has_listeners(self, category: str) -> bool:
         """True if ``emit`` for this category would reach anyone."""
@@ -61,9 +97,25 @@ class Tracer:
             return True
         return bool(self._listeners.get(category))
 
+    def wants(self, category: str) -> bool:
+        """Memoized :meth:`has_listeners` that also honors ``enabled``.
+
+        Protocol code should consult this (directly, or via a cached copy
+        keyed on :attr:`version`) before building a ``detail`` payload, so
+        tracing costs nothing when nobody listens.
+        """
+        memo = self._wants_memo
+        answer = memo.get(category)
+        if answer is None:
+            answer = self._enabled and (
+                bool(self._any) or bool(self._listeners.get(category))
+            )
+            memo[category] = answer
+        return answer
+
     def emit(self, time: float, category: str, node: int, detail: object = None) -> None:
         """Dispatch a record to matching listeners."""
-        if not self.enabled:
+        if not self._enabled:
             return
         exact = self._listeners.get(category)
         if not exact and not self._any:
