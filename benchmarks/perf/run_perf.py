@@ -37,6 +37,7 @@ DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR3.json")
 HEADLINE_METRICS = (
     ("event_core", "events_per_sec"),
     ("forwarding", "packets_per_sec"),
+    ("observer", "packets_per_sec_off"),
     ("codec", "encode_mb_per_sec"),
 )
 #: fig11 is gated on wall time, lower is better.
@@ -119,6 +120,9 @@ def check(out_path: str, threshold: float, repeats: int) -> int:
     fresh = _run_suite_subprocess(os.path.join(REPO_ROOT, "src"), repeats)
     failures = []
     for bench, metric in HEADLINE_METRICS:
+        if bench not in committed:
+            print(f"{bench}.{metric}: no committed baseline, skipping")
+            continue
         recorded = committed[bench][metric]
         measured = fresh[bench][metric]
         floor = recorded * (1.0 - threshold)

@@ -131,6 +131,79 @@ def bench_packets(n_packets: int = 512, seed: int = 3, repeats: int = 2) -> Dict
     }
 
 
+# ----------------------------------------------------------- observability
+
+
+def run_flood_observed(n_packets: int = 512, seed: int = 3) -> tuple:
+    """The :func:`run_flood` workload with the full observability layer on.
+
+    Attaches a :class:`repro.obs.RunObserver` with per-zone traffic
+    aggregation (the most expensive listener set: ``pkt.recv`` and the
+    drop categories fire on every forwarded packet) on top of the usual
+    :class:`TrafficMonitor`.  Contrasted with plain :func:`run_flood` this
+    measures exactly what turning observation on costs — and, because the
+    tracer table is versioned, what turning it off refunds.
+    """
+    from repro.net.monitor import TrafficMonitor
+    from repro.net.packet import Packet
+    from repro.obs import RunObserver
+    from repro.topology.figure10 import build_figure10
+
+    sim = Simulator(seed=seed)
+    fig = build_figure10(sim)
+    net = fig.network
+    group = net.create_group("flood")
+
+    def sink(packet) -> None:
+        return None
+
+    for node in fig.receivers:
+        net.subscribe(group.group_id, node, sink)
+    monitor = TrafficMonitor()
+    net.add_observer(monitor)
+    zone_of = {
+        node: fig.hierarchy.smallest_zone(node).zone_id
+        for node in fig.hierarchy.members()
+    }
+    observer = RunObserver(sim, zone_of=zone_of).attach()
+
+    def send() -> None:
+        net.multicast(fig.source, Packet("DATA", fig.source, group.group_id, 1024))
+
+    for i in range(n_packets):
+        sim.at(i * 0.002, send)
+    sim.run()
+    observer.detach()
+    return monitor, sim
+
+
+def bench_observer(n_packets: int = 512, seed: int = 3, repeats: int = 2) -> Dict[str, float]:
+    """Forwarding throughput with the observability layer off vs on.
+
+    ``*_off`` numbers come from the plain flood (no tracer listeners —
+    the default for every figure run); ``*_on`` adds per-zone traffic
+    aggregation.  ``overhead_ratio`` is on-wall over off-wall: the price
+    of full observation, which must stay bounded, while the off path must
+    stay within noise of the committed forwarding baseline.
+    """
+    wall_off, result_off = _best_wall(lambda: run_flood(n_packets, seed), repeats)
+    monitor_off, sim_off = result_off
+    wall_on, result_on = _best_wall(
+        lambda: run_flood_observed(n_packets, seed), repeats
+    )
+    monitor_on, _ = result_on
+    delivered = monitor_off.total(["DATA"])
+    assert monitor_on.total(["DATA"]) == delivered  # observation never perturbs
+    return {
+        "packets_delivered": float(delivered),
+        "wall_s": wall_off,
+        "wall_s_on": wall_on,
+        "packets_per_sec_off": delivered / wall_off,
+        "packets_per_sec_on": delivered / wall_on,
+        "overhead_ratio": wall_on / wall_off,
+    }
+
+
 # ------------------------------------------------------------------- codec
 
 
@@ -202,6 +275,7 @@ def run_suite(repeats: int = 3) -> Dict[str, Dict[str, float]]:
     return {
         "event_core": bench_events(repeats=repeats),
         "forwarding": bench_packets(repeats=max(2, repeats - 1)),
+        "observer": bench_observer(repeats=max(2, repeats - 1)),
         "codec": bench_codec(),
         "fig11": bench_fig11(repeats=repeats),
     }

@@ -1,0 +1,92 @@
+"""Observability smoke check (CI job ``obs-smoke``).
+
+Exercises the whole export path end to end, twice:
+
+1. **CLI**: runs ``sharqfec fig14 --metrics-out ... --trace-out ...`` at a
+   small packet count and asserts both protocols' JSONL files appear.
+2. **Round trip**: reloads every exported metrics file through
+   :mod:`repro.analysis.obsload`, re-serializes the rebuilt monitor's
+   traffic records, and requires them to match the on-disk records
+   exactly — the bit-for-bit contract, checked from disk alone.
+
+Exits nonzero on any mismatch.  Usage::
+
+    PYTHONPATH=src python scripts/obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import sys
+import tempfile
+
+PACKETS = 24
+SEED = 2
+
+
+def main() -> int:
+    from repro.analysis.obsload import load_metrics, load_trace, read_jsonl
+    from repro.experiments.cli import main as cli_main
+    from repro.obs.export import traffic_records
+
+    with tempfile.TemporaryDirectory(prefix="obs_smoke_") as tmp:
+        metrics_dir = os.path.join(tmp, "metrics")
+        trace_dir = os.path.join(tmp, "trace")
+        rc = cli_main(
+            [
+                "fig14",
+                "--packets",
+                str(PACKETS),
+                "--seed",
+                str(SEED),
+                "--progress",
+                "20",
+                "--metrics-out",
+                metrics_dir,
+                "--trace-out",
+                trace_dir,
+            ]
+        )
+        assert rc == 0, f"CLI exited {rc}"
+
+        metrics_files = sorted(glob.glob(os.path.join(metrics_dir, "*.metrics.jsonl")))
+        trace_files = sorted(glob.glob(os.path.join(trace_dir, "*.trace.jsonl")))
+        assert len(metrics_files) >= 2, f"expected SRM+SHARQFEC metrics, got {metrics_files}"
+        assert len(trace_files) >= 2, f"expected SRM+SHARQFEC traces, got {trace_files}"
+
+        for path in metrics_files:
+            export = load_metrics(path)
+            assert export.manifest["seed"] == SEED
+            assert export.run_summary is not None
+            assert export.run_summary["n_packets"] == PACKETS
+
+            # The disk → monitor → records cycle must be lossless.
+            on_disk = [r for r in read_jsonl(path) if r.get("record") == "traffic"]
+            rebuilt = sorted(
+                traffic_records(export.monitor),
+                key=lambda r: (r["dir"], r["kind"], r["node"]),
+            )
+            on_disk = sorted(
+                on_disk, key=lambda r: (r["dir"], r["kind"], r["node"])
+            )
+            assert rebuilt == on_disk, f"traffic records diverged after reload: {path}"
+            print(
+                f"ok {os.path.basename(path)}: {len(on_disk)} traffic records, "
+                f"{export.counter_total('nacks_sent')} nacks, "
+                f"drops={export.monitor.drops}"
+            )
+
+        for path in trace_files:
+            trace = load_trace(path)
+            cats = trace.categories()
+            assert cats.get("pkt.send", 0) > 0, f"no pkt.send records in {path}"
+            assert cats.get("pkt.recv", 0) > 0, f"no pkt.recv records in {path}"
+            print(f"ok {os.path.basename(path)}: {sum(cats.values())} trace records")
+
+    print("obs smoke: export → reload → re-export round-trips exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

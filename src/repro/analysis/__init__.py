@@ -8,9 +8,22 @@
   series the §6.2 figures plot.
 * :mod:`repro.analysis.report` — fixed-width table rendering for the
   benchmark harness output.
+* :mod:`repro.analysis.obsload` — loaders for the metrics/trace JSONL
+  files :mod:`repro.obs` exports; a reloaded monitor reproduces the
+  in-process series bit-for-bit.
 """
 
 from repro.analysis.latency import LatencyStats, latency_stats, recovery_latencies
+from repro.analysis.obsload import (
+    MetricsExport,
+    ObsLoadError,
+    TraceExport,
+    load_metrics,
+    load_trace,
+    mean_series_from_export,
+    monitor_from_export,
+    read_jsonl,
+)
 from repro.analysis.report import render_series, render_table
 from repro.analysis.state_table import StateTableRow, state_reduction_table
 from repro.analysis.summary import (
@@ -31,6 +44,14 @@ from repro.analysis.treeloss import (
 __all__ = [
     "LatencyStats",
     "LossTree",
+    "MetricsExport",
+    "ObsLoadError",
+    "TraceExport",
+    "load_metrics",
+    "load_trace",
+    "mean_series_from_export",
+    "monitor_from_export",
+    "read_jsonl",
     "StateTableRow",
     "latency_stats",
     "recovery_latencies",

@@ -325,6 +325,14 @@ class SharqfecEndpoint:
         if remaining > 0:
             state.outstanding[zone_id] = remaining - 1
         self.repairs_by_zone[zone_id] = self.repairs_by_zone.get(zone_id, 0) + 1
+        tracer = self.sim.tracer
+        if tracer.wants("sharqfec.repair"):
+            tracer.emit(
+                self.sim.now,
+                "sharqfec.repair",
+                self.node_id,
+                {"zone": zone_id, "group": state.group_id, "index": index},
+            )
         self.network.multicast(self.node_id, pdu)
 
     # -------------------------------------------------- completion / injection
@@ -359,6 +367,14 @@ class SharqfecEndpoint:
             if inject <= 0:
                 continue
             state.outstanding[zone_id] = state.outstanding.get(zone_id, 0) + inject
+            tracer = self.sim.tracer
+            if tracer.wants("sharqfec.inject"):
+                tracer.emit(
+                    self.sim.now,
+                    "sharqfec.inject",
+                    self.node_id,
+                    {"zone": zone_id, "group": state.group_id, "n": inject},
+                )
             self._arm_reply_timer(zone_id, state, 0.0)
 
     def _injection_zones(self) -> List[int]:

@@ -260,6 +260,19 @@ class SharqfecReceiver(SharqfecEndpoint):
             state.attempts_at_zone = 0
         self.nacks_sent += 1
         self.nacks_by_zone[zone_id] = self.nacks_by_zone.get(zone_id, 0) + 1
+        tracer = self.sim.tracer
+        if tracer.wants("sharqfec.nack"):
+            tracer.emit(
+                self.sim.now,
+                "sharqfec.nack",
+                self.node_id,
+                {
+                    "zone": zone_id,
+                    "group": state.group_id,
+                    "llc": state.llc,
+                    "needed": needed,
+                },
+            )
         self.network.multicast(self.node_id, pdu)
 
     # --------------------------------------------------------- NACK reception

@@ -39,7 +39,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each traffic figure's series as <DIR>/<fig>.csv",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="DIR",
+        default=None,
+        help="export per-run metrics JSONL (traffic bins, counters, "
+        "histograms) as <DIR>/<run>.metrics.jsonl",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default=None,
+        help="export per-run structured event traces as "
+        "<DIR>/<run>.trace.jsonl (captures every pkt.*/protocol/fault "
+        "trace category)",
+    )
+    parser.add_argument(
+        "--progress",
+        metavar="SECONDS",
+        type=float,
+        default=None,
+        help="print a progress/throughput line to stderr every SECONDS of "
+        "simulated time",
+    )
+    parser.add_argument(
+        "--zone-traffic",
+        action="store_true",
+        help="with --metrics-out: also aggregate traffic/drop histograms "
+        "per zone (adds a forwarding-path listener)",
+    )
     return parser
+
+
+def _observability_options(args) -> Optional["ObservabilityOptions"]:
+    from repro.experiments.common import ObservabilityOptions
+
+    options = ObservabilityOptions(
+        metrics_dir=args.metrics_out,
+        trace_dir=args.trace_out,
+        progress_interval=args.progress,
+        zone_traffic=args.zone_traffic,
+    )
+    return options if options.active else None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -48,12 +89,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         for figure_id, experiment in EXPERIMENTS.items():
             print(f"{figure_id:7s} {experiment.description}")
         return 0
+    from repro.experiments.common import observe_runs
+
     targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for figure_id in targets:
-        print(run_experiment(figure_id, n_packets=args.packets, seed=args.seed))
-        print()
-        if args.csv is not None:
-            _maybe_write_csv(figure_id, args)
+    with observe_runs(_observability_options(args)):
+        for figure_id in targets:
+            print(run_experiment(figure_id, n_packets=args.packets, seed=args.seed))
+            print()
+            if args.csv is not None:
+                _maybe_write_csv(figure_id, args)
     return 0
 
 

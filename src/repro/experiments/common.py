@@ -9,10 +9,12 @@ under that shape and returns the binned series.
 
 from __future__ import annotations
 
+import contextlib
 import os
+import re
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.core.config import SharqfecConfig
 from repro.core.protocol import SharqfecProtocol
@@ -20,6 +22,13 @@ from repro.errors import ConfigError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.net.monitor import TrafficMonitor
+from repro.obs import (
+    ProgressReporter,
+    RunObserver,
+    build_manifest,
+    export_metrics,
+    export_trace,
+)
 from repro.sim.scheduler import Simulator
 from repro.srm.config import SrmConfig
 from repro.srm.protocol import SrmProtocol
@@ -40,6 +49,54 @@ DATA_REPAIR_KINDS = ("DATA", "FEC", "REPAIR")
 
 SESSION_START = 1.0
 DATA_START = 6.0
+
+
+@dataclass
+class ObservabilityOptions:
+    """Where (and whether) traffic runs export metrics/trace JSONL.
+
+    Set ambiently via :func:`observe_runs`; the ``sharqfec`` CLI's
+    ``--metrics-out`` / ``--trace-out`` / ``--progress`` flags build one of
+    these.  Paths are directories: every protocol run writes
+    ``<slug>_p<packets>_s<seed>.{metrics,trace}.jsonl`` inside them.
+    """
+
+    metrics_dir: Optional[str] = None
+    trace_dir: Optional[str] = None
+    progress_interval: Optional[float] = None
+    progress_stream: Optional[object] = None
+    #: Aggregate pkt.* events into per-zone histograms (costs a listener on
+    #: the forwarding path; per-node series come free via TrafficMonitor).
+    zone_traffic: bool = False
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.metrics_dir is not None
+            or self.trace_dir is not None
+            or self.progress_interval is not None
+        )
+
+
+_observability: Optional[ObservabilityOptions] = None
+
+
+@contextlib.contextmanager
+def observe_runs(options: Optional[ObservabilityOptions]) -> Iterator[None]:
+    """Make every :func:`run_traffic` inside the block export per ``options``."""
+    global _observability
+    previous = _observability
+    _observability = options
+    try:
+        yield
+    finally:
+        _observability = previous
+
+
+def run_slug(protocol: str, n_packets: int, seed: int) -> str:
+    """Filesystem-safe basename for one run's export files."""
+    slug = re.sub(r"[^a-z0-9]+", "_", protocol.lower()).strip("_")
+    return f"{slug}_p{n_packets}_s{seed}"
 
 
 def default_packets() -> int:
@@ -132,7 +189,9 @@ class TrafficRunResult:
 
     def data_end_index(self) -> int:
         """Bin index of the stream's final data packet."""
-        return int(self.data_end / self.monitor.bin_width)
+        from repro.obs.binning import bin_index
+
+        return bin_index(self.data_end, self.monitor.bin_width)
 
 
 def run_traffic(
@@ -169,6 +228,30 @@ def run_traffic(
     topo = build_figure10(sim)
     monitor = TrafficMonitor(bin_width=0.1)
     topo.network.add_observer(monitor)
+    obs = _observability
+    observer: Optional[RunObserver] = None
+    reporter: Optional[ProgressReporter] = None
+    if obs is not None and obs.active:
+        zone_of = None
+        if obs.zone_traffic:
+            zone_of = {
+                node: topo.hierarchy.smallest_zone(node).zone_id
+                for node in topo.hierarchy.members()
+            }
+        observer = RunObserver(
+            sim,
+            bin_width=monitor.bin_width,
+            zone_of=zone_of,
+            capture_trace=obs.trace_dir is not None,
+        ).attach()
+        if obs.progress_interval is not None:
+            reporter = ProgressReporter(
+                sim,
+                interval=obs.progress_interval,
+                stream=obs.progress_stream,
+                monitor=monitor,
+                label=f"{protocol} seed={seed}",
+            ).start()
     if fault_plan is not None:
         FaultInjector(topo.network, fault_plan).arm()
     data_start = DATA_START
@@ -206,6 +289,26 @@ def run_traffic(
             receivers=survivors,
             context=f"{protocol} seed={seed}",
         )
+    if reporter is not None:
+        reporter.stop()
+    if observer is not None:
+        observer.detach()
+        _export_run(
+            obs,
+            observer,
+            monitor,
+            protocol=protocol,
+            packets=packets,
+            seed=seed,
+            config=None if protocol == "SRM" else config,
+            srm_config=srm_config if protocol == "SRM" else None,
+            data_start=data_start,
+            data_end=data_end,
+            run_end=run_end,
+            completion=completion,
+            nacks=nacks,
+            events=sim.events_fired,
+        )
     return TrafficRunResult(
         protocol=protocol,
         monitor=monitor,
@@ -219,6 +322,66 @@ def run_traffic(
         wall_seconds=time.time() - wall_start,
         seed=seed,
     )
+
+
+def _export_run(
+    obs: ObservabilityOptions,
+    observer: RunObserver,
+    monitor: TrafficMonitor,
+    *,
+    protocol: str,
+    packets: int,
+    seed: int,
+    config: Optional[SharqfecConfig],
+    srm_config: Optional[SrmConfig],
+    data_start: float,
+    data_end: float,
+    run_end: float,
+    completion: float,
+    nacks: int,
+    events: int,
+) -> None:
+    """Write the metrics/trace JSONL files one observed run produced."""
+    slug = run_slug(protocol, packets, seed)
+    summary = {
+        "protocol": protocol,
+        "n_packets": packets,
+        "seed": seed,
+        "data_start": data_start,
+        "data_end": data_end,
+        "run_end": run_end,
+        "completion": completion,
+        "nacks_sent": nacks,
+        "events": events,
+        "drops": monitor.drops,
+    }
+
+    def manifest(kind: str) -> Dict[str, object]:
+        return build_manifest(
+            kind,
+            run=slug,
+            seed=seed,
+            topology="figure10",
+            protocol=protocol,
+            config=config if config is not None else srm_config,
+            bin_width=monitor.bin_width,
+            extra={"n_packets": packets},
+        )
+
+    if obs.metrics_dir is not None:
+        export_metrics(
+            os.path.join(obs.metrics_dir, f"{slug}.metrics.jsonl"),
+            manifest("metrics"),
+            monitor=monitor,
+            registry=observer.registry,
+            run_summary=summary,
+        )
+    if obs.trace_dir is not None:
+        export_trace(
+            os.path.join(obs.trace_dir, f"{slug}.trace.jsonl"),
+            manifest("trace"),
+            observer.trace_records,
+        )
 
 
 def run_variants(

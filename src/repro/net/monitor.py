@@ -4,12 +4,28 @@ The paper's §6.2 measures "the sum of data and repair traffic visible at
 each session member over 0.1 second intervals".  :class:`TrafficMonitor`
 bins packet arrivals online per (kind, node) so an entire run aggregates to
 a few small dicts instead of a packet-level log.
+
+Binning goes through :mod:`repro.obs.binning` — the shared, integer-safe
+definition of "which bin is time t in" — so an arrival at exactly
+``t = k * bin_width`` lands in bin ``k`` despite binary floating point
+(``int(0.3 / 0.1)`` is 2, not 3; the naive divide misplaced boundary
+arrivals one bin early).
+
+Series length contract (pinned by ``tests/test_net_monitor.py``):
+
+* no data, no ``t_end`` → ``[]``;
+* ``t_end`` given → at least ``n_bins(t_end, bin_width)`` entries — so
+  ``t_end=0.0`` yields ``[]``, and an end time of exactly ``k*bin_width``
+  yields exactly ``k`` entries;
+* data past ``t_end`` (or no ``t_end``) extends the series through the
+  last nonzero bin.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.obs.binning import bin_index, bin_midpoint, n_bins
 
 
 class PacketEvent(NamedTuple):
@@ -31,6 +47,9 @@ class TrafficMonitor:
         count_forwarding: if False (default) only arrivals at group
             subscribers are counted — that is what "traffic visible at each
             session member" means; routers merely forwarding are excluded.
+        drops: total packets lost anywhere (all kinds, all nodes) — the
+            backward-compatible aggregate over the per-(kind, node) drop
+            bins.
     """
 
     def __init__(self, bin_width: float = 0.1, count_forwarding: bool = False) -> None:
@@ -44,6 +63,10 @@ class TrafficMonitor:
         self._stats: Dict[Tuple[str, int], list] = {}
         # (kind, node) -> {bin_index: packets sent by that node}
         self._send_bins: Dict[Tuple[str, int], Dict[int, int]] = {}
+        # (kind, node) -> same record shape as _stats, for drops: the node
+        # is where the packet *would* have arrived, so loss is attributable
+        # to a subtree / zone instead of one opaque global count.
+        self._drop_stats: Dict[Tuple[str, int], list] = {}
         self.sends: Dict[str, int] = {}
         self.drops: int = 0
 
@@ -53,7 +76,7 @@ class TrafficMonitor:
         """Record a packet's first transmission by its originator."""
         self.sends[event.kind] = self.sends.get(event.kind, 0) + 1
         key = (event.kind, event.node)
-        index = int(event.time / self.bin_width)
+        index = bin_index(event.time, self.bin_width)
         bins = self._send_bins.setdefault(key, {})
         bins[index] = bins.get(index, 0) + 1
 
@@ -66,14 +89,23 @@ class TrafficMonitor:
         if record is None:
             record = self._stats[key] = [{}, 0, 0]
         bins = record[0]
-        index = int(event.time / self.bin_width)
+        index = bin_index(event.time, self.bin_width)
         bins[index] = bins.get(index, 0) + 1
         record[1] += 1
         record[2] += event.size_bytes
 
     def on_drop(self, event: PacketEvent) -> None:
-        """Record a packet lost on a link."""
+        """Record a packet lost on its way to ``event.node``."""
         self.drops += 1
+        key = (event.kind, event.node)
+        record = self._drop_stats.get(key)
+        if record is None:
+            record = self._drop_stats[key] = [{}, 0, 0]
+        bins = record[0]
+        index = bin_index(event.time, self.bin_width)
+        bins[index] = bins.get(index, 0) + 1
+        record[1] += 1
+        record[2] += event.size_bytes
 
     # -------------------------------------------------------------- accessors
 
@@ -90,6 +122,10 @@ class TrafficMonitor:
                 total += record[1]
         return total
 
+    def total_packets(self) -> int:
+        """Total counted arrivals of every kind at every node."""
+        return sum(record[1] for record in self._stats.values())
+
     def total_bytes(self, kinds: Iterable[str], node: Optional[int] = None) -> int:
         """Total bytes of the given kinds (at one node, or at all nodes)."""
         kinds = set(kinds)
@@ -98,6 +134,72 @@ class TrafficMonitor:
             if kind in kinds and (node is None or n == node):
                 total += record[2]
         return total
+
+    # ----------------------------------------------------------------- drops
+
+    def drop_total(
+        self, kinds: Optional[Iterable[str]] = None, node: Optional[int] = None
+    ) -> int:
+        """Dropped packets, filterable by kinds and/or destination node."""
+        kind_set = set(kinds) if kinds is not None else None
+        total = 0
+        for (kind, n), record in self._drop_stats.items():
+            if kind_set is not None and kind not in kind_set:
+                continue
+            if node is not None and n != node:
+                continue
+            total += record[1]
+        return total
+
+    def drops_by_kind(self) -> Dict[str, int]:
+        """Total drops per packet kind."""
+        out: Dict[str, int] = {}
+        for (kind, _), record in self._drop_stats.items():
+            out[kind] = out.get(kind, 0) + record[1]
+        return out
+
+    def drops_by_node(self) -> Dict[int, int]:
+        """Total drops per (intended) destination node."""
+        out: Dict[int, int] = {}
+        for (_, node), record in self._drop_stats.items():
+            out[node] = out.get(node, 0) + record[1]
+        return out
+
+    def drop_series(
+        self,
+        kinds: Iterable[str],
+        node: int,
+        t_end: Optional[float] = None,
+    ) -> List[int]:
+        """Drops-per-interval time series toward one node."""
+        return self._merged_series(
+            ((key, record[0]) for key, record in self._drop_stats.items()),
+            kinds,
+            node,
+            t_end,
+        )
+
+    # ----------------------------------------------------------------- series
+
+    def _merged_series(
+        self,
+        binned: Iterable[Tuple[Tuple[str, int], Dict[int, int]]],
+        kinds: Iterable[str],
+        node: int,
+        t_end: Optional[float],
+    ) -> List[int]:
+        """Shared merge+pad kernel behind every per-interval series."""
+        kinds = set(kinds)
+        merged: Dict[int, int] = {}
+        for (kind, n), bins in binned:
+            if n != node or kind not in kinds:
+                continue
+            for index, count in bins.items():
+                merged[index] = merged.get(index, 0) + count
+        length = n_bins(t_end, self.bin_width) if t_end is not None else 0
+        if merged:
+            length = max(length, max(merged) + 1)
+        return [merged.get(i, 0) for i in range(length)]
 
     def series(
         self,
@@ -110,19 +212,12 @@ class TrafficMonitor:
         The series starts at t=0 and is padded with zeros through ``t_end``
         (or through the last nonzero bin if ``t_end`` is None).
         """
-        kinds = set(kinds)
-        merged: Dict[int, int] = {}
-        for (kind, n), record in self._stats.items():
-            if n != node or kind not in kinds:
-                continue
-            for index, count in record[0].items():
-                merged[index] = merged.get(index, 0) + count
-        if not merged and t_end is None:
-            return []
-        last = max(merged) if merged else 0
-        if t_end is not None:
-            last = max(last, int(math.ceil(t_end / self.bin_width)) - 1)
-        return [merged.get(i, 0) for i in range(last + 1)]
+        return self._merged_series(
+            ((key, record[0]) for key, record in self._stats.items()),
+            kinds,
+            node,
+            t_end,
+        )
 
     def mean_series(
         self,
@@ -158,19 +253,7 @@ class TrafficMonitor:
         for a sender-only protocol is dominated by what the source itself
         transmits; combine with :meth:`series` for the full picture.
         """
-        kinds = set(kinds)
-        merged: Dict[int, int] = {}
-        for (kind, n), bins in self._send_bins.items():
-            if n != node or kind not in kinds:
-                continue
-            for index, count in bins.items():
-                merged[index] = merged.get(index, 0) + count
-        if not merged and t_end is None:
-            return []
-        last = max(merged) if merged else 0
-        if t_end is not None:
-            last = max(last, int(math.ceil(t_end / self.bin_width)) - 1)
-        return [merged.get(i, 0) for i in range(last + 1)]
+        return self._merged_series(self._send_bins.items(), kinds, node, t_end)
 
     def node_traffic_series(
         self,
@@ -190,4 +273,61 @@ class TrafficMonitor:
 
     def bin_times(self, length: int) -> List[float]:
         """Midpoint times for the first ``length`` bins (for table output)."""
-        return [(i + 0.5) * self.bin_width for i in range(length)]
+        return [bin_midpoint(i, self.bin_width) for i in range(length)]
+
+    # ------------------------------------------------------- export / reload
+
+    def receive_records(self) -> Iterator[Tuple[Tuple[str, int], Tuple[Dict[int, int], int, int]]]:
+        """Iterate ``((kind, node), (bins, packets, bytes))`` receive data."""
+        for key, record in self._stats.items():
+            yield key, (dict(record[0]), record[1], record[2])
+
+    def send_records(self) -> Iterator[Tuple[Tuple[str, int], Dict[int, int]]]:
+        """Iterate ``((kind, node), bins)`` send data."""
+        for key, bins in self._send_bins.items():
+            yield key, dict(bins)
+
+    def drop_records(self) -> Iterator[Tuple[Tuple[str, int], Tuple[Dict[int, int], int, int]]]:
+        """Iterate ``((kind, node), (bins, packets, bytes))`` drop data."""
+        for key, record in self._drop_stats.items():
+            yield key, (dict(record[0]), record[1], record[2])
+
+    def load_record(
+        self,
+        direction: str,
+        kind: str,
+        node: int,
+        bins: Dict[int, int],
+        packets: Optional[int] = None,
+        nbytes: int = 0,
+    ) -> None:
+        """Merge one exported record back in (the JSONL loader's entry point).
+
+        ``direction`` is ``"recv"``, ``"send"`` or ``"drop"``; counts are
+        exact integers, so a monitor rebuilt from exported records
+        reproduces every series of the original bit-for-bit.
+        """
+        bins = {int(i): int(c) for i, c in bins.items()}
+        count = int(packets) if packets is not None else sum(bins.values())
+        key = (kind, node)
+        if direction == "send":
+            target = self._send_bins.setdefault(key, {})
+            for index, c in bins.items():
+                target[index] = target.get(index, 0) + c
+            self.sends[kind] = self.sends.get(kind, 0) + count
+            return
+        if direction == "recv":
+            table = self._stats
+        elif direction == "drop":
+            table = self._drop_stats
+            self.drops += count
+        else:
+            raise ValueError(f"unknown traffic direction {direction!r}")
+        record = table.get(key)
+        if record is None:
+            record = table[key] = [{}, 0, 0]
+        target = record[0]
+        for index, c in bins.items():
+            target[index] = target.get(index, 0) + c
+        record[1] += count
+        record[2] += int(nbytes)

@@ -1,0 +1,237 @@
+"""Structured JSONL export of a run's metrics and trace.
+
+Two file kinds, both newline-delimited JSON with a *manifest* header line
+so a file is self-describing and replayable:
+
+* **metrics** — the manifest, a ``run`` summary record, every
+  :class:`~repro.net.monitor.TrafficMonitor` traffic record (per-direction,
+  per-kind, per-node sparse bins — exact integers, so the in-process series
+  round-trip bit-for-bit), and a :class:`~repro.obs.registry.MetricsRegistry`
+  snapshot.
+* **trace** — the manifest followed by one record per captured
+  :class:`~repro.sim.trace.TraceRecord`, payloads summarized via
+  :func:`repro.obs.recorder.summarize_detail`.
+
+The manifest pins everything needed to regenerate the run: master seed,
+topology name, protocol/config summary, and the source git revision.
+Loaders live in :mod:`repro.analysis.obsload`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.recorder import summarize_detail
+from repro.obs.registry import MetricsRegistry
+from repro.sim.trace import TraceRecord
+
+#: Manifest/format identifier; bump on incompatible schema changes.
+FORMAT = "sharqfec.obs.v1"
+
+_git_rev_cache: Optional[str] = None
+
+
+def git_revision() -> str:
+    """The repository HEAD revision, or ``"unknown"`` outside a checkout."""
+    global _git_rev_cache
+    if _git_rev_cache is None:
+        try:
+            root = os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.dirname(os.path.abspath(__file__)))))
+            out = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=root,
+                capture_output=True,
+                text=True,
+                timeout=10,
+            )
+            _git_rev_cache = out.stdout.strip() if out.returncode == 0 else "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _git_rev_cache = "unknown"
+    return _git_rev_cache
+
+
+def _config_summary(config: object) -> object:
+    """A JSON-safe rendering of a protocol config (dataclass or repr)."""
+    if config is None:
+        return None
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        out = {}
+        for key, value in dataclasses.asdict(config).items():
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                out[key] = value
+            else:
+                out[key] = repr(value)
+        return out
+    return repr(config)
+
+
+def build_manifest(
+    kind: str,
+    *,
+    run: str = "",
+    seed: Optional[int] = None,
+    topology: str = "",
+    protocol: str = "",
+    config: object = None,
+    bin_width: Optional[float] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The self-description header every export file starts with."""
+    manifest: Dict[str, object] = {
+        "record": "manifest",
+        "format": FORMAT,
+        "kind": kind,
+        "run": run,
+        "seed": seed,
+        "topology": topology,
+        "protocol": protocol,
+        "config": _config_summary(config),
+        "git_rev": git_revision(),
+    }
+    if bin_width is not None:
+        manifest["bin_width"] = bin_width
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def _write_jsonl(path: str, records: Iterable[Dict[str, object]]) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True, default=str))
+            handle.write("\n")
+
+
+def traffic_records(monitor) -> List[Dict[str, object]]:
+    """Every (direction, kind, node) sparse-bin record of one monitor.
+
+    Counts are exact integers, so a loader that replays these through
+    :meth:`TrafficMonitor.load_record` reproduces ``series`` /
+    ``mean_series`` bit-for-bit.
+    """
+    records: List[Dict[str, object]] = []
+    for (kind, node), (bins, packets, nbytes) in sorted(monitor.receive_records()):
+        records.append(
+            {
+                "record": "traffic",
+                "dir": "recv",
+                "kind": kind,
+                "node": node,
+                "bins": {str(i): c for i, c in sorted(bins.items())},
+                "packets": packets,
+                "bytes": nbytes,
+            }
+        )
+    for (kind, node), bins in sorted(monitor.send_records()):
+        records.append(
+            {
+                "record": "traffic",
+                "dir": "send",
+                "kind": kind,
+                "node": node,
+                "bins": {str(i): c for i, c in sorted(bins.items())},
+                "packets": sum(bins.values()),
+                "bytes": 0,
+            }
+        )
+    for (kind, node), (bins, packets, nbytes) in sorted(monitor.drop_records()):
+        records.append(
+            {
+                "record": "traffic",
+                "dir": "drop",
+                "kind": kind,
+                "node": node,
+                "bins": {str(i): c for i, c in sorted(bins.items())},
+                "packets": packets,
+                "bytes": nbytes,
+            }
+        )
+    return records
+
+
+def export_metrics(
+    path: str,
+    manifest: Dict[str, object],
+    *,
+    monitor=None,
+    registry: Optional[MetricsRegistry] = None,
+    run_summary: Optional[Dict[str, object]] = None,
+) -> str:
+    """Write one metrics JSONL file; returns ``path``."""
+    records: List[Dict[str, object]] = [manifest]
+    if run_summary is not None:
+        records.append({"record": "run", **run_summary})
+    if monitor is not None:
+        records.extend(traffic_records(monitor))
+    if registry is not None:
+        records.extend(registry.snapshot())
+    _write_jsonl(path, records)
+    return path
+
+
+def trace_record_to_dict(record: TraceRecord) -> Dict[str, object]:
+    """One trace line's payload (shared by writer and tests)."""
+    return {
+        "record": "trace",
+        "t": record.time,
+        "cat": record.category,
+        "node": record.node,
+        "detail": summarize_detail(record.detail),
+    }
+
+
+def export_trace(
+    path: str,
+    manifest: Dict[str, object],
+    records: Iterable[TraceRecord],
+) -> str:
+    """Write one trace JSONL file; returns ``path``."""
+
+    def lines() -> Iterable[Dict[str, object]]:
+        yield manifest
+        for record in records:
+            yield trace_record_to_dict(record)
+
+    _write_jsonl(path, lines())
+    return path
+
+
+class JsonlTraceWriter:
+    """Incremental trace writer: a ``trace_sink`` for :class:`RunObserver`.
+
+    Streams records to disk as they happen instead of buffering a full
+    run's trace in memory — the long-run / production-scale mode.
+    """
+
+    def __init__(self, path: str, manifest: Dict[str, object]) -> None:
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self.path = path
+        self._handle = open(path, "w")
+        self._write(manifest)
+        self.records_written = 0
+
+    def _write(self, payload: Dict[str, object]) -> None:
+        self._handle.write(json.dumps(payload, sort_keys=True, default=str))
+        self._handle.write("\n")
+
+    def __call__(self, record: TraceRecord) -> None:
+        self._write(trace_record_to_dict(record))
+        self.records_written += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

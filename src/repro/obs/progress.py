@@ -1,0 +1,88 @@
+"""Periodic progress/throughput reporting for long simulations.
+
+A full-scale run (millions of events) is silent for minutes;
+:class:`ProgressReporter` schedules itself on the simulator's own clock and
+prints one line per ``interval`` simulated seconds with virtual time, event
+throughput (events per *wall* second since the previous tick), and — when a
+:class:`~repro.net.monitor.TrafficMonitor` is supplied — cumulative packet
+and drop counts.  The reporter is an ordinary simulator citizen: it adds
+one event per interval and nothing to any per-packet path.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Optional
+
+
+class ProgressReporter:
+    """Emit a progress line every ``interval`` simulated seconds."""
+
+    def __init__(
+        self,
+        sim,
+        interval: float = 5.0,
+        stream=None,
+        monitor=None,
+        label: str = "run",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.interval = float(interval)
+        self.stream = stream if stream is not None else sys.stderr
+        self.monitor = monitor
+        self.label = label
+        #: Every line emitted so far (tests and post-run summaries).
+        self.lines: List[str] = []
+        self._event = None
+        self._last_wall: Optional[float] = None
+        self._last_events = 0
+        self._running = False
+
+    def start(self) -> "ProgressReporter":
+        """Arm the first tick (idempotent)."""
+        if self._running:
+            return self
+        self._running = True
+        self._last_wall = time.perf_counter()
+        self._last_events = self.sim.events_fired
+        self._event = self.sim.schedule(self.interval, self._tick)
+        return self
+
+    def stop(self) -> None:
+        """Cancel the pending tick."""
+        self._running = False
+        if self._event is not None:
+            self.sim.cancel(self._event)
+            self._event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now_wall = time.perf_counter()
+        fired = self.sim.events_fired
+        wall_delta = max(now_wall - (self._last_wall or now_wall), 1e-9)
+        rate = (fired - self._last_events) / wall_delta
+        line = (
+            f"[{self.label}] t={self.sim.now:9.2f}s "
+            f"events={fired} ({rate:,.0f}/s) pending={self.sim.pending}"
+        )
+        if self.monitor is not None:
+            line += (
+                f" pkts={self.monitor.total_packets()}"
+                f" drops={self.monitor.drops}"
+            )
+        self.lines.append(line)
+        if self.stream is not None:
+            print(line, file=self.stream)
+        self._last_wall = now_wall
+        self._last_events = fired
+        self._event = self.sim.schedule(self.interval, self._tick)
+
+    def __enter__(self) -> "ProgressReporter":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

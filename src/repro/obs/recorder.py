@@ -1,0 +1,288 @@
+"""The run observer: tracer-wired metrics and structured trace capture.
+
+:class:`RunObserver` is the "attach one object and the run becomes
+measurable" entry point.  It subscribes to the simulator's versioned
+:class:`~repro.sim.trace.Tracer` — so its entire cost disappears when it is
+not attached (protocol hot paths consult ``tracer.wants`` before building
+any payload) — and turns the emitted records into:
+
+* per-zone repair/NACK/injection counters for SHARQFEC and flat counters
+  for the SRM baseline (``sharqfec.repair`` / ``sharqfec.nack`` /
+  ``sharqfec.inject`` / ``srm.repair`` / ``srm.nack`` categories);
+* per-kind fault counters (``fault.<kind>``) and routing-reconvergence
+  counts from the fault injector and the network;
+* optionally, per-zone per-kind packet traffic histograms from the
+  forwarding engine's ``pkt.*`` stream (pass ``zone_of``);
+* optionally, a structured in-memory trace (``capture_trace=True``) whose
+  records the JSONL exporter serializes verbatim.
+
+Everything lands in a :class:`~repro.obs.registry.MetricsRegistry`; the
+:mod:`repro.obs.export` module writes the registry plus an attached
+:class:`~repro.net.monitor.TrafficMonitor` out as JSONL.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.registry import MetricsRegistry
+from repro.sim.trace import TraceRecord, Tracer
+
+#: Forwarding-engine packet categories (exact tracer categories).
+PKT_CATEGORIES: Tuple[str, ...] = (
+    "pkt.send",
+    "pkt.recv",
+    "pkt.drop",
+    "pkt.qdrop",
+    "pkt.nodedrop",
+    "pkt.stifled",
+    "pkt.noroute",
+)
+
+#: Agent-level protocol categories (emitted by repro.core / repro.srm).
+PROTOCOL_CATEGORIES: Tuple[str, ...] = (
+    "sharqfec.nack",
+    "sharqfec.repair",
+    "sharqfec.inject",
+    "srm.nack",
+    "srm.repair",
+)
+
+#: Network-level control categories.
+NET_CATEGORIES: Tuple[str, ...] = ("net.reconverge",)
+
+
+def fault_categories() -> Tuple[str, ...]:
+    """Every ``fault.<kind>`` category the injector can emit."""
+    from repro.faults.plan import KINDS
+
+    return tuple(f"fault.{kind}" for kind in sorted(KINDS))
+
+
+def default_trace_categories() -> Tuple[str, ...]:
+    """The full structured-trace category set (packets included)."""
+    return PKT_CATEGORIES + PROTOCOL_CATEGORIES + NET_CATEGORIES + fault_categories()
+
+
+#: Packet attributes worth exporting, in output order.
+_DETAIL_ATTRS = (
+    "kind",
+    "src",
+    "group",
+    "size_bytes",
+    "seq",
+    "group_id",
+    "index",
+    "zone_id",
+    "llc",
+    "n_needed",
+)
+
+
+def summarize_detail(detail: object) -> object:
+    """Reduce a trace record's payload to a JSON-serializable summary.
+
+    Packets and PDUs collapse to their identifying fields; dicts pass
+    through untouched (agent emits already use plain dicts); anything else
+    is stringified.
+    """
+    if detail is None or isinstance(detail, (str, int, float, bool)):
+        return detail
+    if isinstance(detail, dict):
+        return detail
+    summary = {}
+    for attr in _DETAIL_ATTRS:
+        value = getattr(detail, attr, None)
+        if value is not None:
+            summary[attr] = value
+    return summary if summary else str(detail)
+
+
+class RunObserver:
+    """Attachable, detachable observability for one simulation run."""
+
+    def __init__(
+        self,
+        sim,
+        *,
+        bin_width: float = 0.1,
+        zone_of: Optional[Dict[int, int]] = None,
+        capture_trace: bool = False,
+        trace_categories: Optional[Sequence[str]] = None,
+        trace_sink: Optional[Callable[[TraceRecord], None]] = None,
+    ) -> None:
+        """
+        Args:
+            sim: the :class:`~repro.sim.scheduler.Simulator` to observe.
+            bin_width: interval width for the per-zone traffic histograms.
+            zone_of: optional node→zone map; when given, ``pkt.recv`` /
+                ``pkt.drop`` events are additionally aggregated into
+                per-(zone, kind) time histograms.  This puts a listener on
+                the forwarding hot path, so leave it None for runs where
+                per-node series (the :class:`TrafficMonitor`) suffice.
+            capture_trace: keep every matching record in
+                :attr:`trace_records` for export.
+            trace_categories: categories to capture (defaults to
+                :func:`default_trace_categories`).
+            trace_sink: stream records to a callable instead of (in
+                addition to) the in-memory list — for incremental writers.
+        """
+        self.sim = sim
+        self.tracer: Tracer = sim.tracer
+        self.registry = MetricsRegistry()
+        self.bin_width = float(bin_width)
+        self.zone_of = zone_of
+        self.capture_trace = capture_trace
+        self.trace_sink = trace_sink
+        self.trace_categories: Tuple[str, ...] = tuple(
+            trace_categories if trace_categories is not None else default_trace_categories()
+        )
+        self.trace_records: List[TraceRecord] = []
+        self._subscriptions: List[Tuple[str, Callable[[TraceRecord], None]]] = []
+        self._attached = False
+
+    # -------------------------------------------------------------- lifecycle
+
+    def attach(self) -> "RunObserver":
+        """Subscribe every listener; idempotent."""
+        if self._attached:
+            return self
+        for category in PROTOCOL_CATEGORIES:
+            self._subscribe(category, self._on_protocol)
+        for category in fault_categories():
+            self._subscribe(category, self._on_fault)
+        self._subscribe("net.reconverge", self._on_reconverge)
+        if self.zone_of is not None:
+            self._subscribe("pkt.recv", self._on_pkt_recv)
+            self._subscribe("pkt.drop", self._on_pkt_drop)
+            self._subscribe("pkt.nodedrop", self._on_pkt_drop)
+            self._subscribe("pkt.qdrop", self._on_pkt_drop)
+        if self.capture_trace or self.trace_sink is not None:
+            already = {category for category, _ in self._subscriptions}
+            for category in self.trace_categories:
+                if category not in already:
+                    self._subscribe(category, self._on_trace_only)
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Remove every subscription (safe to call twice)."""
+        for category, listener in self._subscriptions:
+            try:
+                self.tracer.unsubscribe(category, listener)
+            except (KeyError, ValueError):  # pragma: no cover - defensive
+                pass
+        self._subscriptions.clear()
+        self._attached = False
+
+    def _subscribe(self, category: str, handler: Callable[[TraceRecord], None]) -> None:
+        # Bound-method equality, not identity: every ``self._on_trace_only``
+        # access builds a fresh method object.
+        capture = (
+            handler != self._on_trace_only
+            and (self.capture_trace or self.trace_sink is not None)
+            and category in self.trace_categories
+        )
+
+        if capture:
+            def listener(record: TraceRecord, _handler=handler) -> None:
+                _handler(record)
+                self._record_trace(record)
+        else:
+            listener = handler
+        self.tracer.subscribe(category, listener)
+        self._subscriptions.append((category, listener))
+
+    # -------------------------------------------------------------- listeners
+
+    def _record_trace(self, record: TraceRecord) -> None:
+        if self.capture_trace:
+            self.trace_records.append(record)
+        if self.trace_sink is not None:
+            self.trace_sink(record)
+
+    def _on_trace_only(self, record: TraceRecord) -> None:
+        self._record_trace(record)
+
+    def _on_protocol(self, record: TraceRecord) -> None:
+        detail = record.detail if isinstance(record.detail, dict) else {}
+        category = record.category
+        protocol, _, event = category.partition(".")
+        zone = detail.get("zone", -1)
+        if event == "inject":
+            self.registry.counter("injections", protocol=protocol, zone=zone).inc()
+            self.registry.counter(
+                "injected_packets", protocol=protocol, zone=zone
+            ).inc(int(detail.get("n", 1)))
+            return
+        family = "nacks_sent" if event == "nack" else "repairs_sent"
+        self.registry.counter(family, protocol=protocol, zone=zone).inc()
+        self.registry.histogram(
+            f"{family}_per_interval", self.bin_width, protocol=protocol, zone=zone
+        ).observe(record.time)
+
+    def _on_fault(self, record: TraceRecord) -> None:
+        kind = record.category.partition(".")[2]
+        self.registry.counter("faults", kind=kind).inc()
+
+    def _on_reconverge(self, record: TraceRecord) -> None:
+        self.registry.counter("reconvergences").inc()
+
+    def _on_pkt_recv(self, record: TraceRecord) -> None:
+        zone = self.zone_of.get(record.node)
+        if zone is None:
+            return
+        kind = getattr(record.detail, "kind", "?")
+        self.registry.histogram(
+            "zone_traffic", self.bin_width, zone=zone, kind=kind
+        ).observe(record.time)
+
+    def _on_pkt_drop(self, record: TraceRecord) -> None:
+        zone = self.zone_of.get(record.node)
+        if zone is None:
+            return
+        kind = getattr(record.detail, "kind", "?")
+        self.registry.histogram(
+            "zone_drops", self.bin_width, zone=zone, kind=kind
+        ).observe(record.time)
+
+    # ---------------------------------------------------------------- queries
+
+    def _zone_totals(self, family: str) -> Dict[int, int]:
+        """Per-zone totals of one SHARQFEC counter family.
+
+        SRM events carry the flat-scope sentinel zone ``-1`` and are
+        excluded: these queries answer "how much recovery stayed inside
+        each zone", which only scoped protocols define.
+        """
+        out: Dict[int, int] = {}
+        for labels, value in self.registry.counter_values(family).items():
+            label_map = dict(labels)
+            if label_map.get("protocol") != "sharqfec":
+                continue
+            zone = label_map.get("zone")
+            if zone is None:
+                continue
+            out[zone] = out.get(zone, 0) + value
+        return out
+
+    def repairs_by_zone(self) -> Dict[int, int]:
+        """Total repairs sent per zone (SHARQFEC agents)."""
+        return self._zone_totals("repairs_sent")
+
+    def nacks_by_zone(self) -> Dict[int, int]:
+        """Total NACKs sent per zone (SHARQFEC agents)."""
+        return self._zone_totals("nacks_sent")
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Injected faults applied so far, per kind."""
+        return {
+            str(k): v
+            for k, v in self.registry.labeled_totals("faults", "kind").items()
+        }
+
+    def __enter__(self) -> "RunObserver":
+        return self.attach()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.detach()

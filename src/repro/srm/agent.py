@@ -229,6 +229,9 @@ class SrmAgent:
         self.nacks_sent += 1
         loss.own_requests += 1
         loss.backoff = min(loss.backoff + 1, self.config.max_backoff_exponent)
+        tracer = self.sim.tracer
+        if tracer.wants("srm.nack"):
+            tracer.emit(self.sim.now, "srm.nack", self.node_id, {"seq": seq})
         self.network.multicast(self.node_id, pdu)
         loss.timer.restart(self._request_delay(loss))
 
@@ -268,6 +271,9 @@ class SrmAgent:
         pdu = SrmRepairPdu(self.node_id, self.data_group, self.config.packet_size, seq)
         self.repairs_sent += 1
         self._repairs_sent_for.add(seq)
+        tracer = self.sim.tracer
+        if tracer.wants("srm.repair"):
+            tracer.emit(self.sim.now, "srm.repair", self.node_id, {"seq": seq})
         self.network.multicast(self.node_id, pdu)
 
     def _handle_repair(self, seq: int) -> None:

@@ -1,0 +1,89 @@
+"""The env-toggle equivalence matrix.
+
+``SHARQFEC_COMPILED_FORWARDING`` (compiled vs interpreted forwarding) and
+``SHARQFEC_PURE_FEC`` (pure-python vs accelerated codec) select
+implementations, not behaviors: every combination must produce the same
+simulation, event for event.  Both toggles are read at runtime (network
+construction / codec construction), so the matrix runs in-process.
+
+The check is maximally strict: the exported trace and metrics JSONL files
+of all four combinations must be byte-identical.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+
+import pytest
+
+from repro.experiments.common import (
+    ObservabilityOptions,
+    observe_runs,
+    run_slug,
+    run_traffic,
+)
+
+N_PACKETS = 16
+SEED = 7
+
+COMBOS = list(itertools.product(["0", "1"], ["0", "1"]))
+
+
+def _run_combo(tmp_path, monkeypatch, compiled: str, pure_fec: str):
+    monkeypatch.setenv("SHARQFEC_COMPILED_FORWARDING", compiled)
+    monkeypatch.setenv("SHARQFEC_PURE_FEC", pure_fec)
+    root = tmp_path / f"c{compiled}_f{pure_fec}"
+    options = ObservabilityOptions(
+        metrics_dir=str(root / "metrics"), trace_dir=str(root / "trace")
+    )
+    with observe_runs(options):
+        result = run_traffic("SHARQFEC", n_packets=N_PACKETS, seed=SEED, drain=5.0)
+    slug = run_slug("SHARQFEC", N_PACKETS, SEED)
+    with open(os.path.join(options.trace_dir, f"{slug}.trace.jsonl"), "rb") as f:
+        trace_bytes = f.read()
+    with open(os.path.join(options.metrics_dir, f"{slug}.metrics.jsonl"), "rb") as f:
+        metrics_bytes = f.read()
+    return result, trace_bytes, metrics_bytes
+
+
+def test_forwarding_and_codec_toggles_are_behavior_preserving(tmp_path, monkeypatch):
+    results = {}
+    for compiled, pure_fec in COMBOS:
+        results[(compiled, pure_fec)] = _run_combo(
+            tmp_path, monkeypatch, compiled, pure_fec
+        )
+
+    baseline_result, baseline_trace, baseline_metrics = results[("1", "0")]
+    assert len(baseline_trace.splitlines()) > N_PACKETS  # a real trace
+    for combo, (result, trace_bytes, metrics_bytes) in results.items():
+        assert trace_bytes == baseline_trace, f"trace diverged for {combo}"
+        assert metrics_bytes == baseline_metrics, f"metrics diverged for {combo}"
+        assert result.completion == baseline_result.completion
+        assert result.nacks_sent == baseline_result.nacks_sent
+        assert result.events == baseline_result.events
+
+
+def test_toggles_select_distinct_implementations(monkeypatch):
+    """The matrix is meaningful: the toggles really switch code paths."""
+    from repro.fec.fast import default_codec
+    from repro.net.network import Network
+    from repro.sim.scheduler import Simulator
+
+    from repro.fec.codec import ErasureCodec
+    from repro.fec.fast import HAVE_NUMPY
+
+    monkeypatch.setenv("SHARQFEC_PURE_FEC", "1")
+    pure = default_codec(4)
+    assert type(pure) is ErasureCodec
+    monkeypatch.setenv("SHARQFEC_PURE_FEC", "0")
+    fast = default_codec(4)
+    if HAVE_NUMPY:
+        assert type(fast) is not ErasureCodec
+
+    monkeypatch.setenv("SHARQFEC_COMPILED_FORWARDING", "1")
+    compiled_net = Network(Simulator(seed=1))
+    monkeypatch.setenv("SHARQFEC_COMPILED_FORWARDING", "0")
+    interpreted_net = Network(Simulator(seed=1))
+    assert compiled_net.compiled_forwarding
+    assert not interpreted_net.compiled_forwarding

@@ -92,3 +92,132 @@ def test_bin_times_midpoints():
 def test_invalid_bin_width():
     with pytest.raises(ValueError):
         TrafficMonitor(bin_width=0.0)
+
+
+# --------------------------------------------------------------- bin edges
+
+
+def test_boundary_arrival_lands_in_its_own_bin():
+    """An arrival at exactly t = k * bin_width belongs to bin k.
+
+    The naive ``int(t / w)`` misplaces these: ``0.3 / 0.1`` is
+    2.9999999999999996 in binary floating point, so packet arrivals at bin
+    boundaries used to land one bin early.
+    """
+    mon = TrafficMonitor(bin_width=0.1)
+    for k in range(1, 50):
+        mon.on_receive(ev(k * 0.1, 1))
+    series = mon.series(["DATA"], 1)
+    assert series[0] == 0
+    assert series[1:] == [1] * 49
+
+
+def test_boundary_arrival_from_accumulated_time():
+    # 0.1 + 0.1 + 0.1 != 0.3 exactly, but is within rounding of bin 3.
+    t = 0.1 + 0.1 + 0.1
+    mon = TrafficMonitor(bin_width=0.1)
+    mon.on_receive(ev(t, 1))
+    assert mon.series(["DATA"], 1) == [0, 0, 0, 1]
+
+
+def test_interior_arrivals_unaffected_by_boundary_snap():
+    mon = TrafficMonitor(bin_width=0.1)
+    mon.on_receive(ev(0.299, 1))
+    mon.on_receive(ev(0.301, 1))
+    assert mon.series(["DATA"], 1) == [0, 0, 1, 1]
+
+
+def test_send_and_drop_use_same_binning():
+    mon = TrafficMonitor(bin_width=0.1)
+    mon.on_send(ev(0.3, 1))
+    mon.on_drop(ev(0.3, 1))
+    assert mon.send_series(["DATA"], 1) == [0, 0, 0, 1]
+    assert mon.drop_series(["DATA"], 1) == [0, 0, 0, 1]
+
+
+def test_t_end_on_boundary_yields_exactly_k_bins():
+    mon = TrafficMonitor(bin_width=0.1)
+    assert len(mon.series(["DATA"], 1, t_end=0.3)) == 3
+    assert len(mon.series(["DATA"], 1, t_end=0.30000000000000004)) == 3
+
+
+# ------------------------------------------------------- empty-series edges
+
+
+def test_empty_series_contract():
+    mon = TrafficMonitor(bin_width=0.1)
+    # No data, no t_end: empty.
+    assert mon.series(["DATA"], 1) == []
+    assert mon.send_series(["DATA"], 1) == []
+    assert mon.drop_series(["DATA"], 1) == []
+    assert mon.mean_series(["DATA"], [1, 2]) == []
+    assert mon.node_traffic_series(["DATA"], 1) == []
+    # t_end = 0.0 is zero bins, not a clamped [0].
+    assert mon.series(["DATA"], 1, t_end=0.0) == []
+    # Sub-bin t_end still rounds up to one bin.
+    assert mon.series(["DATA"], 1, t_end=0.05) == [0]
+
+
+def test_series_extends_past_t_end_when_data_does():
+    mon = TrafficMonitor(bin_width=0.1)
+    mon.on_receive(ev(0.55, 1))
+    assert mon.series(["DATA"], 1, t_end=0.2) == [0, 0, 0, 0, 0, 1]
+
+
+# ------------------------------------------------------ per-(kind,node) drops
+
+
+def test_drops_binned_per_kind_and_node():
+    mon = TrafficMonitor(bin_width=0.1)
+    mon.on_drop(ev(0.05, 1, kind="DATA"))
+    mon.on_drop(ev(0.05, 1, kind="FEC"))
+    mon.on_drop(ev(0.15, 2, kind="DATA"))
+    # Aggregate stays backward compatible.
+    assert mon.drops == 3
+    assert mon.drop_total() == 3
+    assert mon.drop_total(kinds=["DATA"]) == 2
+    assert mon.drop_total(node=1) == 2
+    assert mon.drop_total(kinds=["FEC"], node=2) == 0
+    assert mon.drops_by_kind() == {"DATA": 2, "FEC": 1}
+    assert mon.drops_by_node() == {1: 2, 2: 1}
+    assert mon.drop_series(["DATA", "FEC"], 1) == [2]
+    assert mon.drop_series(["DATA"], 2) == [0, 1]
+
+
+# ----------------------------------------------------------- export/reload
+
+
+def test_load_record_round_trips_every_series():
+    mon = TrafficMonitor(bin_width=0.1)
+    mon.on_receive(ev(0.05, 1, kind="DATA", size=100))
+    mon.on_receive(ev(0.3, 1, kind="FEC", size=50))
+    mon.on_send(ev(0.1, 0, kind="NACK"))
+    mon.on_drop(ev(0.2, 2, kind="DATA"))
+
+    rebuilt = TrafficMonitor(bin_width=0.1)
+    for (kind, node), (bins, packets, nbytes) in mon.receive_records():
+        rebuilt.load_record("recv", kind, node, bins, packets, nbytes)
+    for (kind, node), bins in mon.send_records():
+        rebuilt.load_record("send", kind, node, bins)
+    for (kind, node), (bins, packets, nbytes) in mon.drop_records():
+        rebuilt.load_record("drop", kind, node, bins, packets, nbytes)
+
+    assert rebuilt.series(["DATA", "FEC"], 1) == mon.series(["DATA", "FEC"], 1)
+    assert rebuilt.send_series(["NACK"], 0) == mon.send_series(["NACK"], 0)
+    assert rebuilt.drop_series(["DATA"], 2) == mon.drop_series(["DATA"], 2)
+    assert rebuilt.sends == mon.sends
+    assert rebuilt.drops == mon.drops
+    assert rebuilt.total_bytes(["DATA", "FEC"]) == mon.total_bytes(["DATA", "FEC"])
+
+
+def test_load_record_accepts_string_bin_keys():
+    mon = TrafficMonitor(bin_width=0.1)
+    mon.load_record("recv", "DATA", 1, {"3": 2})
+    assert mon.series(["DATA"], 1) == [0, 0, 0, 2]
+    assert mon.total(["DATA"]) == 2
+
+
+def test_load_record_rejects_unknown_direction():
+    mon = TrafficMonitor()
+    with pytest.raises(ValueError):
+        mon.load_record("sideways", "DATA", 1, {})
