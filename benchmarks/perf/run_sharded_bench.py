@@ -1,0 +1,77 @@
+"""Sharded-engine scaling benchmark driver.
+
+Runs :func:`suite.bench_sharded` — the 10k-receiver national topology
+under the in-process reference engine and the multiprocessing engine at
+several worker counts — and writes ``BENCH_PR6.json`` at the repo root
+in the same ``{"current": {...}}`` layout as the PR-3 harness.
+
+The record annotates ``cpu_count`` because the worker speedup is a
+property of the machine: on a box with few cores the wall-clock curve
+flattens early.  Per-worker speedups (vs one worker) are derived into a
+``"speedup"`` block for quick reading; the differential test suite, not
+this file, is what guarantees the outputs are identical across worker
+counts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_sharded_bench.py
+    PYTHONPATH=src python benchmarks/perf/run_sharded_bench.py \\
+        --workers 1 2 4 8 --packets 8 --out BENCH_PR6.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR6.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="worker-process counts to measure (default: 1 2 4)",
+    )
+    parser.add_argument(
+        "--packets", type=int, default=8, help="CBR packets per run (default: 8)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="rounds per configuration; best kept"
+    )
+    parser.add_argument("--out", default=DEFAULT_OUT, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, HERE)
+    from suite import bench_sharded
+
+    current = bench_sharded(
+        workers=tuple(args.workers), n_packets=args.packets, repeats=args.repeats
+    )
+    base = current.get("sharded_w1") or current["reference"]
+    report = {
+        "current": current,
+        "machine": {"cpu_count": os.cpu_count()},
+        "speedup": {
+            name: round(base["wall_s"] / metrics["wall_s"], 3)
+            for name, metrics in current.items()
+            if name != "sharded_w1"
+        },
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

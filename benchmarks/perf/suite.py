@@ -14,7 +14,7 @@ estimator for throughput benchmarks because noise is strictly additive.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from repro.sim.scheduler import Simulator
 from repro.sim.timers import Timer
@@ -268,6 +268,39 @@ def bench_fig11(seed: int = 1, repeats: int = 3) -> Dict[str, float]:
         "wall_s": wall,
         "rounds": float(len(result.rounds)),
     }
+
+
+def bench_sharded(
+    workers: Tuple[int, ...] = (1, 2, 4),
+    n_packets: int = 8,
+    repeats: int = 1,
+) -> Dict[str, Dict[str, float]]:
+    """Shards-vs-wall-clock on the 10k-receiver national topology.
+
+    Deliberately *not* part of :func:`run_suite` — that set is frozen
+    against the PR-3 baseline, which predates the sharded engine.
+    ``run_sharded_bench.py`` drives this kernel and records the results
+    in ``BENCH_PR6.json`` at the repo root.
+    """
+    from repro.engine import run_reference, run_sharded
+    from repro.experiments.national_scale import national_spec
+
+    spec = national_spec(n_packets=n_packets)
+
+    def entry(run: Callable[[], object]) -> Dict[str, float]:
+        wall, merged = _best_wall(run, repeats)
+        return {
+            "wall_s": wall,
+            "receivers": float(merged.n_receivers),
+            "events": float(merged.events),
+            "completion": merged.completion,
+            "n_shards": float(merged.plan.n_shards),
+        }
+
+    out = {"reference": entry(lambda: run_reference(spec))}
+    for n in workers:
+        out[f"sharded_w{n}"] = entry(lambda n=n: run_sharded(spec, workers=n))
+    return out
 
 
 def run_suite(repeats: int = 3) -> Dict[str, Dict[str, float]]:

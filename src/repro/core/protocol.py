@@ -13,10 +13,23 @@ from typing import Dict, Iterable, List, Optional
 from repro.core.config import SharqfecConfig
 from repro.core.receiver import SharqfecReceiver
 from repro.core.sender import SharqfecSender
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ProtocolError
 from repro.net.network import Network
+from repro.net.packet import Packet
 from repro.scoping.channels import ScopedChannels
 from repro.scoping.zone import ZoneHierarchy
+
+
+def _remote_member_handler(packet: Packet) -> None:
+    """Delivery stub for members whose agents live in another shard.
+
+    Remote members must *subscribe* here so every shard computes identical
+    multicast trees, but their packets are handed across the shard boundary
+    before arrival — this handler firing means ownership pruning failed.
+    """
+    raise ProtocolError(
+        f"packet {packet.kind!r} delivered to a remote session member"
+    )
 
 
 class SharqfecProtocol:
@@ -30,6 +43,7 @@ class SharqfecProtocol:
         receiver_ids: Iterable[int],
         hierarchy: Optional[ZoneHierarchy] = None,
         static_zcrs: Optional[Dict[int, int]] = None,
+        local_nodes: Optional[Iterable[int]] = None,
     ) -> None:
         self.network = network
         self.sim = network.sim
@@ -52,14 +66,27 @@ class SharqfecProtocol:
                 )
             self.hierarchy = hierarchy
         self.channels = ScopedChannels(network, self.hierarchy)
-        self.sender = SharqfecSender(
-            source_id, self.sim, network, self.channels, config, source_id
+        # A zone-sharded engine builds one protocol slice per shard: agents
+        # only for the owned nodes, subscription stubs for everyone else
+        # (joined in _start_sessions) so multicast trees stay identical in
+        # every shard.  local_nodes=None is the ordinary monolithic build.
+        if local_nodes is None:
+            local = members
+        else:
+            local = members & set(local_nodes)
+        self.local_nodes = None if local_nodes is None else frozenset(local_nodes)
+        self._remote_members = sorted(members - local)
+        self.sender: Optional[SharqfecSender] = (
+            SharqfecSender(source_id, self.sim, network, self.channels, config, source_id)
+            if source_id in local
+            else None
         )
         self.receivers: Dict[int, SharqfecReceiver] = {
             rid: SharqfecReceiver(
                 rid, self.sim, network, self.channels, config, source_id
             )
             for rid in self.receiver_ids
+            if rid in local
         }
         if static_zcrs:
             self._seed_static_zcrs(static_zcrs)
@@ -75,7 +102,9 @@ class SharqfecProtocol:
                 raise ConfigError(
                     f"static ZCR {zcr_node} is not a member of zone {zone.name!r}"
                 )
-            for agent in [self.sender, *self.receivers.values()]:
+            agents = [self.sender] if self.sender is not None else []
+            agents.extend(self.receivers.values())
+            for agent in agents:
                 if agent.session.zone_level_index(zone_id) is not None:
                     agent.session.zcr_ids[zone_id] = zcr_node
 
@@ -86,18 +115,27 @@ class SharqfecProtocol:
         if data_start < session_start:
             raise ConfigError("data must not start before the session")
         self.sim.at(session_start, self._start_sessions)
-        self.sim.at(data_start, self.sender.start_stream, data_start)
+        if self.sender is not None:
+            self.sim.at(data_start, self.sender.start_stream, data_start)
 
     def _start_sessions(self) -> None:
-        self.sender.start_session()
+        if self.sender is not None:
+            self.sender.start_session()
         for receiver in self.receivers.values():
             if not receiver._stopped:
                 # Deferred receivers (defer_receiver) sit out until joined.
                 receiver.start_session()
+        # Remote members subscribe at the same session-start instant their
+        # real agents (in other shards) do, keeping tree membership in
+        # lockstep across shards.
+        stub = _remote_member_handler
+        for node_id in self._remote_members:
+            self.channels.join_member(node_id, stub, stub, stub)
 
     def stop(self) -> None:
         """Cancel every agent timer (ends an open-ended run cleanly)."""
-        self.sender.stop()
+        if self.sender is not None:
+            self.sender.stop()
         for receiver in self.receivers.values():
             receiver.stop()
 

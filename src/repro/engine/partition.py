@@ -1,0 +1,146 @@
+"""Zone-based partitioning of a topology into logical shards.
+
+SHARQFEC's admin scoping keeps repair traffic inside zones, so the zone
+hierarchy is the natural shard boundary: each *top-level* zone (a direct
+child of the hierarchy root) becomes one logical shard, plus a "residue"
+shard for root-level nodes covered by no top-level zone (typically just
+the source).  Logical shards are a property of the topology alone — a run
+always executes one engine instance per logical shard, and worker
+processes own *sets* of logical shards — which is what makes results
+byte-identical across worker counts.
+
+The only links crossing shards are the zone-boundary links; their
+propagation latency is a hard lower bound on how early a packet sent in
+one shard can arrive in another (serialization delay only adds to it).
+The minimum boundary latency is therefore a safe *lookahead window* for
+conservative synchronization: shards run ``window`` seconds at a time,
+and packets handed across a boundary during window *k* always arrive
+after the end of window *k*, so injecting them before window *k+1* can
+never deliver into the past.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.errors import EngineError
+from repro.scoping.zone import ZoneHierarchy
+
+
+@dataclass(frozen=True)
+class LogicalShard:
+    """One unit of sequential execution: a top-level zone or the residue."""
+
+    index: int
+    key: str
+    zone_id: Optional[int]
+    nodes: FrozenSet[int]
+
+    @property
+    def loss_stream(self) -> str:
+        """Per-shard Bernoulli loss stream name (derived from seed + name,
+        so draws are identical however many worker processes run)."""
+        return f"net.loss.s{self.index}"
+
+
+@dataclass(frozen=True)
+class BoundaryLink:
+    """A directed link whose endpoints live in different shards."""
+
+    src: int
+    dst: int
+    latency: float
+    src_shard: int
+    dst_shard: int
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The complete decomposition: shards, ownership, boundary, lookahead."""
+
+    shards: Tuple[LogicalShard, ...]
+    owner: Dict[int, int] = field(hash=False)
+    boundary: Tuple[BoundaryLink, ...] = field(hash=False)
+    #: Minimum boundary-link latency; ``inf`` when no link crosses shards
+    #: (single shard or disconnected shards), meaning one window suffices.
+    lookahead: float = math.inf
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, node: int) -> LogicalShard:
+        return self.shards[self.owner[node]]
+
+
+def plan_shards(
+    hierarchy: ZoneHierarchy, adjacency: Dict[int, Dict[int, float]]
+) -> ShardPlan:
+    """Decompose a topology along its top-level zones.
+
+    Args:
+        hierarchy: the run's zone hierarchy; its root must cover every
+            node in ``adjacency``.
+        adjacency: latency-weighted adjacency (``Network.adjacency()``).
+
+    Raises:
+        EngineError: if a node is outside the hierarchy root (no owner),
+            top-level zones overlap, or a boundary link has non-positive
+            latency (no safe lookahead exists).
+    """
+    root = hierarchy.root
+    shards = []
+    owner: Dict[int, int] = {}
+
+    def add_shard(key: str, zone_id: Optional[int], nodes: FrozenSet[int]) -> None:
+        shard = LogicalShard(len(shards), key, zone_id, nodes)
+        shards.append(shard)
+        for node in nodes:
+            if node in owner:
+                raise EngineError(
+                    f"node {node} belongs to overlapping top-level zones; "
+                    "cannot shard"
+                )
+            owner[node] = shard.index
+
+    top_zones = hierarchy.children(root.zone_id)
+    covered = set()
+    for zone in top_zones:
+        covered.update(zone.nodes)
+    residue = frozenset(root.nodes) - covered
+    if residue:
+        add_shard("residue", None, frozenset(residue))
+    for zone in top_zones:
+        add_shard(zone.name or f"zone{zone.zone_id}", zone.zone_id, frozenset(zone.nodes))
+
+    unowned = set(adjacency) - set(owner)
+    if unowned:
+        raise EngineError(
+            f"nodes {sorted(unowned)[:5]} are outside the zone hierarchy; "
+            "every node must belong to the root zone to shard"
+        )
+
+    boundary = []
+    lookahead = math.inf
+    for u, neighbors in sorted(adjacency.items()):
+        for v, latency in sorted(neighbors.items()):
+            su, sv = owner[u], owner[v]
+            if su == sv:
+                continue
+            if latency <= 0.0:
+                raise EngineError(
+                    f"boundary link {u}->{v} has latency {latency}; "
+                    "conservative sync needs strictly positive boundary latency"
+                )
+            boundary.append(BoundaryLink(u, v, latency, su, sv))
+            if latency < lookahead:
+                lookahead = latency
+
+    return ShardPlan(
+        shards=tuple(shards),
+        owner=owner,
+        boundary=tuple(boundary),
+        lookahead=lookahead,
+    )

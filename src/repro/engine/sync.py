@@ -1,0 +1,84 @@
+"""Conservative time-windowed synchronization primitives.
+
+Pure logic — no simulator, no processes — so the safety-critical pieces
+are directly property-testable (``tests/test_engine_sync_properties.py``):
+
+* :func:`window_ends` — the lockstep schedule.  Window *k* covers the
+  half-open interval ``(ends[k-1], ends[k]]``; every shard runs its local
+  events up to ``ends[k]``, then the engine exchanges cross-shard
+  messages before any shard enters window *k+1*.
+* **Lookahead safety** — a message sent at time ``t`` inside window *k*
+  crosses a boundary link with latency ``>= lookahead >= window width``,
+  so its arrival ``t + latency > ends[k]`` always lies in a *later*
+  window: injecting exchanged messages at the next window boundary never
+  schedules into a shard's past.  (The runner still guards this with
+  ``Simulator.call_at``, which raises on past times.)
+* :class:`CrossShardMessage` ordering — inboxes are sorted by
+  ``(arrival, origin_shard, origin_seq)`` before injection, so the
+  injection schedule is independent of worker count and exchange order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from repro.errors import EngineError
+
+
+@dataclass(frozen=True)
+class CrossShardMessage:
+    """One packet crossing a shard boundary.
+
+    ``origin_seq`` is the sender shard's running message count — together
+    with ``origin_shard`` it gives every message a globally unique,
+    worker-count-independent identity used for deterministic injection
+    ordering (arrival-time ties between shards would otherwise depend on
+    exchange order).
+    """
+
+    arrival: float
+    origin_shard: int
+    origin_seq: int
+    node: int
+    dst_shard: int
+    packet: Any
+
+
+def message_sort_key(message: CrossShardMessage) -> Tuple[float, int, int]:
+    """Canonical injection order: arrival time, then origin identity."""
+    return (message.arrival, message.origin_shard, message.origin_seq)
+
+
+def window_ends(run_end: float, window: float) -> List[float]:
+    """The lockstep barrier times ``t_1 < t_2 < ... < t_n = run_end``.
+
+    Ends are exact multiples of ``window`` (so the schedule is a pure
+    function of the two arguments) with the final partial window clamped
+    to ``run_end``.  A ``window`` of ``inf`` — no boundary links — yields
+    the single window ``[run_end]``.  Progress is structural: each end is
+    strictly later than the last and the list is finite, so a run with
+    empty exchange windows still terminates (no deadlock).
+    """
+    if run_end <= 0.0:
+        raise EngineError(f"run_end must be positive, got {run_end}")
+    if window <= 0.0:
+        raise EngineError(f"window must be positive, got {window}")
+    ends: List[float] = []
+    k = 1
+    while True:
+        t = k * window
+        if t >= run_end:
+            ends.append(run_end)
+            return ends
+        ends.append(t)
+        k += 1
+
+
+def containing_window(ends: List[float], time: float) -> int:
+    """Index of the window whose interval ``(ends[i-1], ends[i]]`` holds
+    ``time`` (window 0 starts at 0).  Used by the safety property tests."""
+    for i, end in enumerate(ends):
+        if time <= end:
+            return i
+    raise EngineError(f"time {time} beyond the last window end {ends[-1]}")

@@ -39,6 +39,10 @@ class FaultError(ReproError):
     """Invalid fault-injection request (bad plan, unknown target, ...)."""
 
 
+class EngineError(ReproError):
+    """Invalid sharded-engine request (unshardable topology, bad spec, ...)."""
+
+
 class InvariantViolation(ReproError, AssertionError):
     """A protocol invariant checked by :mod:`repro.testing` was violated.
 

@@ -23,7 +23,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="figure id (fig1, fig8, fig11..fig21), 'all', or 'list'",
+        help="figure id (fig1, fig8, fig11..fig21), 'national' (sharded "
+        "scale run), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--shards",
+        metavar="N",
+        type=int,
+        default=None,
+        help="worker processes for the 'national' experiment: omit or 0 "
+        "for the in-process reference engine, N>0 for the multiprocessing "
+        "engine (merged output is byte-identical either way)",
+    )
+    national = parser.add_argument_group(
+        "national topology shape (only with the 'national' experiment)"
+    )
+    national.add_argument("--regions", type=int, default=None)
+    national.add_argument("--cities", type=int, default=None, help="cities per region")
+    national.add_argument("--suburbs", type=int, default=None, help="suburbs per city")
+    national.add_argument(
+        "--subscribers", type=int, default=None, help="subscribers per suburb"
     )
     parser.add_argument(
         "--packets",
@@ -83,12 +102,46 @@ def _observability_options(args) -> Optional["ObservabilityOptions"]:
     return options if options.active else None
 
 
+def _run_national(args) -> int:
+    from repro.experiments.national_scale import DEFAULT_SHAPE, national_spec, run_national
+
+    shape = dict(DEFAULT_SHAPE)
+    for key, value in (
+        ("regions", args.regions),
+        ("cities_per_region", args.cities),
+        ("suburbs_per_city", args.suburbs),
+        ("subscribers_per_suburb", args.subscribers),
+    ):
+        if value is not None:
+            shape[key] = value
+    spec = national_spec(
+        n_packets=args.packets if args.packets is not None else 32,
+        seed=args.seed,
+        capture_trace=args.trace_out is not None,
+        **shape,
+    )
+    report = run_national(
+        spec,
+        shards=args.shards,
+        metrics_dir=args.metrics_out,
+        trace_dir=args.trace_out,
+    )
+    print(report)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for figure_id, experiment in EXPERIMENTS.items():
             print(f"{figure_id:7s} {experiment.description}")
+        print("national sharded zone-parallel run of the Figure 7 national topology")
         return 0
+    if args.experiment == "national":
+        return _run_national(args)
+    if args.shards is not None:
+        print("--shards only applies to the 'national' experiment", file=sys.stderr)
+        return 2
     from repro.experiments.common import observe_runs
 
     targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -1,0 +1,136 @@
+"""The ``national`` CLI experiment: sharded runs of the Figure 7 topology.
+
+This is the scale demonstrator for ROADMAP item 1: a (scaled-down but
+still 10k-receiver-capable) national distribution hierarchy executed by
+the zone-parallel engine (:mod:`repro.engine`), one shard per region.
+Unlike the figure experiments — fixed paper shapes — this one takes the
+topology shape and the worker count on the command line and reports the
+run, so it doubles as the entry point operators use to size shard counts
+(see ``docs/SCALING.md``).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.engine import (
+    MergedRun,
+    ShardedRunSpec,
+    export_merged_metrics,
+    export_merged_trace,
+    run_reference,
+    run_sharded,
+)
+from repro.experiments.common import run_slug
+from repro.faults.plan import FaultPlan
+
+#: Default shape: 4 regions x 5 cities x 10 suburbs x 50 subscribers
+#: = 10,024 receivers (>= the 10k target) on 10,025 nodes.
+DEFAULT_SHAPE: Dict[str, int] = {
+    "regions": 4,
+    "cities_per_region": 5,
+    "suburbs_per_city": 10,
+    "subscribers_per_suburb": 50,
+}
+
+
+def national_spec(
+    *,
+    regions: int = DEFAULT_SHAPE["regions"],
+    cities_per_region: int = DEFAULT_SHAPE["cities_per_region"],
+    suburbs_per_city: int = DEFAULT_SHAPE["suburbs_per_city"],
+    subscribers_per_suburb: int = DEFAULT_SHAPE["subscribers_per_suburb"],
+    n_packets: int = 32,
+    seed: int = 1,
+    drain: float = 10.0,
+    fault_plan: Optional[FaultPlan] = None,
+    capture_trace: bool = False,
+) -> ShardedRunSpec:
+    """A sharded-run spec for a national topology of the given shape."""
+    total_nodes = 1 + regions * (1 + cities_per_region * (1 + suburbs_per_city * subscribers_per_suburb))
+    return ShardedRunSpec(
+        topology="national",
+        n_packets=n_packets,
+        seed=seed,
+        drain=drain,
+        topology_params=(
+            ("regions", regions),
+            ("cities_per_region", cities_per_region),
+            ("suburbs_per_city", suburbs_per_city),
+            ("subscribers_per_suburb", subscribers_per_suburb),
+            ("max_nodes", max(total_nodes, 1)),
+        ),
+        fault_plan=fault_plan,
+        capture_trace=capture_trace,
+    )
+
+
+@dataclass
+class NationalRunReport:
+    """Human-readable summary of one sharded national run."""
+
+    merged: MergedRun
+    metrics_path: Optional[str] = None
+    trace_path: Optional[str] = None
+
+    def __str__(self) -> str:
+        merged = self.merged
+        plan = merged.plan
+        lookahead = (
+            f"{plan.lookahead * 1000:.0f} ms" if math.isfinite(plan.lookahead) else "none"
+        )
+        engine = (
+            "reference (in-process)"
+            if merged.workers == 0
+            else f"sharded ({merged.workers} worker processes)"
+        )
+        lines = [
+            "National-scale sharded run",
+            f"  engine:      {engine}",
+            f"  shards:      {plan.n_shards} ({', '.join(s.key for s in plan.shards)})",
+            f"  lookahead:   {lookahead}",
+            f"  receivers:   {merged.n_receivers}",
+            f"  packets:     {merged.spec.n_packets}  seed={merged.spec.seed}",
+            f"  completion:  {merged.completion:.4f}",
+            f"  nacks:       {merged.nacks}",
+            f"  events:      {merged.events}",
+            f"  drops:       {merged.drops}",
+            f"  wall clock:  {merged.wall_seconds:.2f} s",
+        ]
+        if self.metrics_path:
+            lines.append(f"  metrics:     {self.metrics_path}")
+        if self.trace_path:
+            lines.append(f"  trace:       {self.trace_path}")
+        return "\n".join(lines)
+
+
+def run_national(
+    spec: ShardedRunSpec,
+    shards: Optional[int] = None,
+    metrics_dir: Optional[str] = None,
+    trace_dir: Optional[str] = None,
+) -> NationalRunReport:
+    """Execute a national spec and optionally export merged JSONL.
+
+    ``shards`` is the worker-process count: ``None`` or ``0`` selects the
+    in-process reference engine; any positive count runs the
+    multiprocessing engine (output is byte-identical either way).
+    """
+    if shards:
+        merged = run_sharded(spec, workers=shards)
+    else:
+        merged = run_reference(spec)
+    report = NationalRunReport(merged)
+    slug = run_slug(spec.protocol, spec.n_packets, spec.seed)
+    if metrics_dir is not None:
+        report.metrics_path = export_merged_metrics(
+            merged, os.path.join(metrics_dir, f"{slug}.metrics.jsonl")
+        )
+    if trace_dir is not None:
+        report.trace_path = export_merged_trace(
+            merged, os.path.join(trace_dir, f"{slug}.trace.jsonl")
+        )
+    return report

@@ -16,7 +16,8 @@ duration of the delay (as with a real IGP), then traffic reroutes around
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import RoutingError, ScopeError, TopologyError
 from repro.net.link import Link
@@ -86,6 +87,17 @@ class Network:
         # Routing computes over this snapshot of the live adjacency, not
         # over the raw topology; _reconverge() refreshes it.
         self._converged_adjacency: Dict[int, Dict[int, float]] = {}
+        # Zone-sharded execution (repro.engine): when _owned is set, only
+        # the owned nodes run protocol agents here, and forwarding onto a
+        # child owned by another shard hands (arrival, child, packet) to
+        # _boundary instead of scheduling the arrival locally.  None keeps
+        # the monolithic single-engine behaviour.
+        self._owned: Optional[frozenset] = None
+        self._boundary: Optional[Callable[[float, int, Packet], None]] = None
+        # Injection-side node->record index per (group_id, src), stamped
+        # like the schedule cache; used by deliver_remote().
+        self._index_cache: Dict[Tuple[int, int], Tuple[int, Dict[int, tuple]]] = {}
+        self._in_batch = False
 
     def _drops(self, link: Link, packet: Packet) -> bool:
         model = link.loss_model
@@ -246,12 +258,64 @@ class Network:
         self._tree_cache.clear()
         self._sched_cache.clear()
         self._routing_cache.clear()
+        self._index_cache.clear()
 
     def _structural_change(self) -> None:
         # Builders (add_node/add_link) reshape the topology itself, which
         # is configuration rather than a runtime fault: the converged view
         # follows instantly, with no reconvergence delay.
+        if self._in_batch:
+            return
         self._converged_adjacency = self._live_adjacency()
+        self._invalidate()
+
+    @contextmanager
+    def batch_build(self) -> Iterator["Network"]:
+        """Defer converged-adjacency snapshots while bulk-building topology.
+
+        Every ``add_node``/``add_link`` normally re-snapshots the live
+        adjacency, which makes an n-node build O(n²).  Inside this context
+        the snapshot is deferred and taken once on exit — required for the
+        10k-node national builds the sharded engine targets.  Nesting is
+        harmless (only the outermost exit snapshots).
+        """
+        if self._in_batch:
+            yield self
+            return
+        self._in_batch = True
+        try:
+            yield self
+        finally:
+            self._in_batch = False
+            self._structural_change()
+
+    # ------------------------------------------------------------ partitioning
+
+    def set_partition(
+        self,
+        owned: Iterable[int],
+        boundary_handler: Callable[[float, int, Packet], None],
+        loss_stream: str = "net.loss",
+    ) -> None:
+        """Restrict this engine instance to a shard of the topology.
+
+        The full topology stays in place (multicast trees must be computed
+        identically in every shard) but forwarding onto a node outside
+        ``owned`` calls ``boundary_handler(arrival_time, node_id, packet)``
+        instead of scheduling the arrival locally; the sharded engine
+        ferries the packet to the owning shard, which resumes delivery via
+        :meth:`deliver_remote`.  ``loss_stream`` renames the Bernoulli loss
+        RNG stream so each shard draws from its own deterministic stream
+        (the single global ``net.loss`` stream cannot be split).
+        """
+        owned = frozenset(owned)
+        unknown = owned - set(self.nodes)
+        if unknown:
+            raise TopologyError(f"partition contains unknown nodes {sorted(unknown)[:5]}")
+        self._owned = owned
+        self._boundary = boundary_handler
+        self._loss_rng = self.sim.rng.stream(loss_stream)
+        self._loss_random = self._loss_rng.random
         self._invalidate()
 
     def _live_adjacency(self) -> Dict[int, Dict[int, float]]:
@@ -475,6 +539,8 @@ class Network:
         loss_random = self._loss_random
         exempt = packet.loss_exempt
         plain = self.loss_oracle is None
+        owned = self._owned
+        boundary = self._boundary
         for link, child_record in kids:
             # Inlined _drops() for the memoryless common case (no stateful
             # loss model, no oracle): same checks, same RNG consumption.
@@ -520,6 +586,12 @@ class Network:
                     if self._t_qdrop:
                         self.sim.tracer.emit(now, "pkt.qdrop", child_record[0], packet)
                     continue
+            if owned is not None and child_record[0] not in owned:
+                # The child lives in another shard: loss and serialization
+                # were accounted sender-side above, so hand the survivor
+                # off for remote injection at its arrival time.
+                boundary(arrival, child_record[0], packet)
+                continue
             push_call(arrival, arrive, (packet, child_record))
 
     def _arrive_fast(self, packet: Packet, record: tuple) -> None:
@@ -583,6 +655,9 @@ class Network:
                     )
                 self.sim.tracer.emit(now, "pkt.qdrop", child, packet)
                 continue
+            if self._owned is not None and child not in self._owned:
+                self._boundary(arrival, child, packet)
+                continue
             self.sim.at(arrival, self._arrive_multicast, packet, children, child)
 
     def _arrive_multicast(self, packet: Packet, children: Dict[int, List[int]], node: int) -> None:
@@ -608,6 +683,58 @@ class Network:
             self.nodes[node].deliver(packet)
         self._forward_hops(children, node, packet)
 
+    # ------------------------------------------------------- remote injection
+
+    def deliver_remote(self, packet: Packet, node: int) -> None:
+        """Resume delivery of a cross-shard multicast packet at ``node``.
+
+        Called by the sharded engine at the packet's arrival time — i.e.
+        the instant the boundary handler reported — on the shard that owns
+        ``node``.  Delivery and onward forwarding then proceed exactly as
+        if the upstream hop had scheduled the arrival locally.  The tree is
+        looked up from ``(packet.src, packet.group)``: every multicast in
+        the protocol stack sends with ``src == packet.src``, so the pair
+        identifies the (group, source) delivery schedule.
+        """
+        if node not in self.nodes:
+            raise TopologyError(f"unknown node {node}")
+        if self.sim.tracer.version != self._trace_version:
+            self._refresh_trace_flags()
+        group = self._group(packet.group)
+        if self.compiled_forwarding:
+            self._arrive_fast(packet, self._injection_record(packet.src, group, node))
+        else:
+            children = self._tree_for(packet.src, group)
+            self._arrive_multicast(packet, children, node)
+
+    def _injection_record(self, src: int, group: MulticastGroup, node: int) -> tuple:
+        """Compiled record for ``node`` within the (group, src) schedule.
+
+        Indexes the compiled tree once per (tree, topology version) so
+        per-packet injection is a dict lookup.  If routing reconverged
+        while the packet was in flight and the new tree no longer reaches
+        ``node``, a leaf record is synthesized: the packet is delivered to
+        the node's handlers but forwarded nowhere — both engines take this
+        same code path, so the outcome is deterministic.
+        """
+        key = (group.group_id, src)
+        stamp = group.version + (self._topology_version << 32)
+        cached = self._index_cache.get(key)
+        if cached is None or cached[0] != stamp:
+            index: Dict[int, tuple] = {}
+            stack = [self._schedule_for(src, group)]
+            while stack:
+                record = stack.pop()
+                index[record[0]] = record
+                for _link, child_record in record[3]:
+                    stack.append(child_record)
+            cached = (stamp, index)
+            self._index_cache[key] = cached
+        record = cached[1].get(node)
+        if record is None:
+            record = (node, self.nodes[node], group, ())
+        return record
+
     # ----------------------------------------------------------------- unicast
 
     def unicast(self, packet: UnicastPacket) -> None:
@@ -629,6 +756,11 @@ class Network:
             if self._t_noroute:
                 self.sim.tracer.emit(self.sim.now, "pkt.noroute", packet.src, packet)
             return
+        if self._owned is not None and any(n not in self._owned for n in path):
+            raise RoutingError(
+                f"unicast {packet.src}->{packet.dst} crosses the shard boundary; "
+                "sharded runs carry multicast traffic only"
+            )
         if self._observers:
             self._notify(
                 "on_send",

@@ -23,6 +23,7 @@ from repro.obs.export import (
     build_manifest,
     export_metrics,
     export_trace,
+    export_trace_dicts,
     git_revision,
     traffic_records,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "default_trace_categories",
     "export_metrics",
     "export_trace",
+    "export_trace_dicts",
     "fault_categories",
     "git_revision",
     "n_bins",

@@ -203,6 +203,26 @@ def export_trace(
     return path
 
 
+def export_trace_dicts(
+    path: str,
+    manifest: Dict[str, object],
+    records: Iterable[Dict[str, object]],
+) -> str:
+    """Write a trace file from already-serialized record dicts.
+
+    The sharded engine merges per-shard traces as plain dicts (the form
+    they cross the process boundary in); this writes them in the exact
+    format :func:`export_trace` produces.
+    """
+
+    def lines() -> Iterable[Dict[str, object]]:
+        yield manifest
+        yield from records
+
+    _write_jsonl(path, lines())
+    return path
+
+
 class JsonlTraceWriter:
     """Incremental trace writer: a ``trace_sink`` for :class:`RunObserver`.
 

@@ -110,6 +110,7 @@ class RunObserver:
         capture_trace: bool = False,
         trace_categories: Optional[Sequence[str]] = None,
         trace_sink: Optional[Callable[[TraceRecord], None]] = None,
+        global_events: bool = True,
     ) -> None:
         """
         Args:
@@ -126,6 +127,11 @@ class RunObserver:
                 :func:`default_trace_categories`).
             trace_sink: stream records to a callable instead of (in
                 addition to) the in-memory list — for incremental writers.
+            global_events: observe run-global events (fault injections,
+                routing reconvergence).  A zone-sharded run replicates the
+                fault plan into every shard, so exactly one shard's
+                observer keeps this True — otherwise the merged counters
+                would multiply by the shard count.
         """
         self.sim = sim
         self.tracer: Tracer = sim.tracer
@@ -134,6 +140,7 @@ class RunObserver:
         self.zone_of = zone_of
         self.capture_trace = capture_trace
         self.trace_sink = trace_sink
+        self.global_events = global_events
         self.trace_categories: Tuple[str, ...] = tuple(
             trace_categories if trace_categories is not None else default_trace_categories()
         )
@@ -149,9 +156,10 @@ class RunObserver:
             return self
         for category in PROTOCOL_CATEGORIES:
             self._subscribe(category, self._on_protocol)
-        for category in fault_categories():
-            self._subscribe(category, self._on_fault)
-        self._subscribe("net.reconverge", self._on_reconverge)
+        if self.global_events:
+            for category in fault_categories():
+                self._subscribe(category, self._on_fault)
+            self._subscribe("net.reconverge", self._on_reconverge)
         if self.zone_of is not None:
             self._subscribe("pkt.recv", self._on_pkt_recv)
             self._subscribe("pkt.drop", self._on_pkt_drop)
@@ -159,6 +167,9 @@ class RunObserver:
             self._subscribe("pkt.qdrop", self._on_pkt_drop)
         if self.capture_trace or self.trace_sink is not None:
             already = {category for category, _ in self._subscriptions}
+            if not self.global_events:
+                already.update(NET_CATEGORIES)
+                already.update(fault_categories())
             for category in self.trace_categories:
                 if category not in already:
                     self._subscribe(category, self._on_trace_only)

@@ -225,3 +225,28 @@ class MetricsRegistry:
                 hist.bins = {int(i): v for i, v in dict(rec["bins"]).items()}
                 hist.count = int(rec.get("count", 0))
                 hist.total = float(rec.get("total", 0.0))
+
+    def merge(self, records: List[Dict[str, object]]) -> None:
+        """Additively merge :meth:`snapshot` output into this registry.
+
+        Unlike :meth:`restore` (which overwrites histogram state), merging
+        sums histogram bins/count/total and *adds* gauge values — the
+        sharded engine folds per-shard registries with this, in canonical
+        shard order so the merged insertion order is deterministic.
+        """
+        for rec in records:
+            kind = rec.get("record")
+            labels = {str(k): v for k, v in dict(rec.get("labels", {})).items()}
+            if kind == "counter":
+                self.counter(str(rec["name"]), **labels).inc(int(rec["value"]))
+            elif kind == "gauge":
+                self.gauge(str(rec["name"]), **labels).add(float(rec["value"]))
+            elif kind == "hist":
+                hist = self.histogram(
+                    str(rec["name"]), float(rec["bin_width"]), **labels
+                )
+                for i, v in dict(rec["bins"]).items():
+                    index = int(i)
+                    hist.bins[index] = hist.bins.get(index, 0) + v
+                hist.count += int(rec.get("count", 0))
+                hist.total += float(rec.get("total", 0.0))

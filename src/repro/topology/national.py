@@ -108,38 +108,42 @@ def build_national_network(
             "use NationalParams analytically instead"
         )
     net = Network(sim)
-    source = net.add_node("source").node_id
     hierarchy = ZoneHierarchy()
     region_caches: List[int] = []
     city_caches: Dict[int, List[int]] = {}
     subscribers: Dict[int, List[int]] = {}
     # Build nodes/links first, zones after (zone sets need the node ids).
+    # batch_build defers the per-builder-call adjacency snapshot, keeping
+    # the construction O(nodes) — required for the 10k-receiver sharded
+    # engine runs.
     structure: List[Tuple[int, List[Tuple[int, List[int]]]]] = []
-    for _r in range(params.regions):
-        region = net.add_node().node_id
-        net.add_link(source, region, backbone_bandwidth, backbone_latency, backbone_loss)
-        region_caches.append(region)
-        cities: List[Tuple[int, List[int]]] = []
-        city_caches[region] = []
-        for _c in range(params.cities_per_region):
-            city = net.add_node().node_id
-            net.add_link(region, city, backbone_bandwidth, backbone_latency, backbone_loss)
-            city_caches[region].append(city)
-            suburb_members: List[int] = []
-            for _s in range(params.suburbs_per_city):
-                first = None
-                for _m in range(params.subscribers_per_suburb):
-                    member = net.add_node().node_id
-                    attach = city if first is None else first
-                    net.add_link(
-                        attach, member, access_bandwidth, access_latency, access_loss
-                    )
-                    if first is None:
-                        first = member
-                    suburb_members.append(member)
-            cities.append((city, suburb_members))
-            subscribers[city] = suburb_members
-        structure.append((region, cities))
+    with net.batch_build():
+        source = net.add_node("source").node_id
+        for _r in range(params.regions):
+            region = net.add_node().node_id
+            net.add_link(source, region, backbone_bandwidth, backbone_latency, backbone_loss)
+            region_caches.append(region)
+            cities: List[Tuple[int, List[int]]] = []
+            city_caches[region] = []
+            for _c in range(params.cities_per_region):
+                city = net.add_node().node_id
+                net.add_link(region, city, backbone_bandwidth, backbone_latency, backbone_loss)
+                city_caches[region].append(city)
+                suburb_members: List[int] = []
+                for _s in range(params.suburbs_per_city):
+                    first = None
+                    for _m in range(params.subscribers_per_suburb):
+                        member = net.add_node().node_id
+                        attach = city if first is None else first
+                        net.add_link(
+                            attach, member, access_bandwidth, access_latency, access_loss
+                        )
+                        if first is None:
+                            first = member
+                        suburb_members.append(member)
+                cities.append((city, suburb_members))
+                subscribers[city] = suburb_members
+            structure.append((region, cities))
 
     root = hierarchy.add_root(set(net.nodes), name="National")
     for region, cities in structure:

@@ -1,0 +1,217 @@
+"""Property-based tests on the sharded engine's synchronization logic.
+
+Three families of invariants back the engine's correctness argument
+(docs/SCALING.md):
+
+* **Lookahead safety** — a packet handed across a shard boundary during
+  window *k* with latency >= the sync window always arrives after window
+  *k* ends, so injecting it before window *k+1* never schedules into a
+  shard's past.
+* **Progress without messages** — the window schedule is a finite, pure
+  function of ``(run_end, window)``; the lockstep loop terminates and
+  advances every shard to ``run_end`` even when every exchange window is
+  empty (no deadlock).
+* **Per-shard RNG determinism** — shard loss streams are derived from
+  ``(seed, stream name)`` alone, so replays match and distinct shards
+  draw independently.
+
+Times are drawn as dyadic rationals (n/64) so every sum and multiple is
+exact in binary floating point: the properties test the protocol, not
+rounding noise.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import containing_window, message_sort_key, window_ends
+from repro.engine.partition import plan_shards
+from repro.engine.sync import CrossShardMessage
+from repro.net.network import Network
+from repro.scoping.zone import ZoneHierarchy
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Simulator
+
+# Dyadic rationals: exactly representable, so k*window and t+latency are
+# computed without rounding for the ranges used here.
+dyadic = st.integers(min_value=1, max_value=4096).map(lambda n: n / 64.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(run_end=dyadic, window=st.one_of(dyadic, st.just(math.inf)))
+def test_window_schedule_invariants(run_end, window):
+    ends = window_ends(run_end, window)
+    # Finite, strictly increasing, lands exactly on run_end.
+    assert ends[-1] == run_end
+    assert all(a < b for a, b in zip(ends, ends[1:]))
+    # No window is wider than the sync window (the lookahead bound).
+    starts = [0.0] + ends[:-1]
+    assert all(end - start <= window for start, end in zip(starts, ends))
+    # The schedule is a pure function of its arguments (replay-stable).
+    assert window_ends(run_end, window) == ends
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    run_end=dyadic,
+    window=dyadic,
+    send_numerator=st.integers(min_value=0, max_value=4096 * 64),
+    extra_latency=st.integers(min_value=0, max_value=256),
+)
+def test_lookahead_safety(run_end, window, send_numerator, extra_latency):
+    """send during window k + latency >= window  =>  arrival after end k.
+
+    This is the conservative-sync soundness argument: when the engine
+    injects window k's boundary messages at the start of window k+1
+    (clock == ends[k]), ``call_at(arrival, ...)`` is never in the past.
+    """
+    ends = window_ends(run_end, window)
+    send = (send_numerator / 64.0) % run_end
+    latency = window + extra_latency / 64.0  # latency >= lookahead == window
+    k = containing_window(ends, send)
+    arrival = send + latency
+    assert arrival >= ends[k]
+    # Strict when the send is strictly inside the window.
+    if send > ([0.0] + ends)[k]:
+        assert arrival > ends[k]
+
+
+@settings(max_examples=50, deadline=None)
+@given(run_end=dyadic, window=st.one_of(dyadic, st.just(math.inf)))
+def test_lockstep_loop_terminates_on_empty_windows(run_end, window):
+    """The reference engine's loop shape deadlocks never: every shard is
+    driven to run_end in finitely many barriers even with zero traffic."""
+
+    class IdleShard:
+        def __init__(self):
+            self.now = 0.0
+
+        def inject(self, messages):
+            assert messages == []
+
+        def run_until(self, end):
+            assert end > self.now
+            self.now = end
+
+        def drain_outbox(self):
+            return []
+
+    shards = [IdleShard() for _ in range(3)]
+    pending = [[] for _ in shards]
+    for end in window_ends(run_end, window):
+        routed = [[] for _ in shards]
+        for i, shard in enumerate(shards):
+            shard.inject(pending[i])
+            shard.run_until(end)
+            routed[i].extend(shard.drain_outbox())
+        pending = routed
+    assert all(shard.now == run_end for shard in shards)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    shard_index=st.integers(min_value=0, max_value=63),
+    n_draws=st.integers(min_value=1, max_value=32),
+)
+def test_per_shard_loss_streams_are_deterministic(seed, shard_index, n_draws):
+    """Same (seed, stream) replays exactly; sibling shards differ.
+
+    This is what makes loss draws independent of worker packing: every
+    shard owns the stream ``net.loss.s<index>`` keyed only by the master
+    seed and its own logical index.
+    """
+    name = f"net.loss.s{shard_index}"
+    first = [RngRegistry(seed).stream(name).random() for _ in range(1)]
+    a = RngRegistry(seed).stream(name)
+    b = RngRegistry(seed).stream(name)
+    draws_a = [a.random() for _ in range(n_draws)]
+    draws_b = [b.random() for _ in range(n_draws)]
+    assert draws_a == draws_b
+    assert draws_a[0] == first[0]
+    sibling = RngRegistry(seed).stream(f"net.loss.s{shard_index + 1}")
+    assert [sibling.random() for _ in range(n_draws)] != draws_a
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    zone_sizes=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=4),
+    latencies=st.data(),
+)
+def test_plan_shards_invariants(zone_sizes, latencies):
+    """Ownership is total and disjoint; boundary = exactly the cross links;
+    lookahead = the minimum boundary latency."""
+    sim = Simulator()
+    net = Network(sim)
+    hierarchy = ZoneHierarchy()
+    source = net.add_node("source").node_id
+    zones = []
+    boundary_latencies = []
+    for size in zone_sizes:
+        latency = latencies.draw(dyadic)
+        boundary_latencies.append(latency)
+        head = net.add_node().node_id
+        net.add_link(source, head, 1e6, latency, 0.0)
+        members = {head}
+        for _ in range(size - 1):
+            child = net.add_node().node_id
+            net.add_link(head, child, 1e6, latency, 0.0)
+            members.add(child)
+        zones.append(members)
+    root = hierarchy.add_root(set(net.nodes), name="root")
+    for i, members in enumerate(zones):
+        hierarchy.add_zone(root.zone_id, members, name=f"Z{i}")
+
+    plan = plan_shards(hierarchy, net.adjacency())
+
+    # Residue shard (the source) first, then one shard per zone, in order.
+    assert plan.shards[0].key == "residue"
+    assert plan.shards[0].nodes == frozenset({source})
+    assert plan.n_shards == len(zones) + 1
+    owned = [shard.nodes for shard in plan.shards]
+    assert frozenset().union(*owned) == frozenset(net.nodes)
+    assert sum(len(nodes) for nodes in owned) == len(net.nodes)
+    for shard, members in zip(plan.shards[1:], zones):
+        assert shard.nodes == frozenset(members)
+    # Boundary links are exactly the source<->head links, both directions.
+    crossing = {
+        (link.src, link.dst)
+        for link in plan.boundary
+    }
+    expected = set()
+    for members in zones:
+        head = min(members)
+        expected.add((source, head))
+        expected.add((head, source))
+    assert crossing == expected
+    assert plan.lookahead == min(boundary_latencies)
+    for link in plan.boundary:
+        assert plan.shard_of(link.src).index == link.src_shard
+        assert plan.shard_of(link.dst).index == link.dst_shard
+        assert link.src_shard != link.dst_shard
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(dyadic, st.integers(0, 7), st.integers(0, 1000)),
+        min_size=0,
+        max_size=40,
+    )
+)
+def test_injection_order_is_canonical(raw):
+    """The inbox sort key is a total order independent of arrival order."""
+    messages = [
+        CrossShardMessage(
+            arrival=t, origin_shard=shard, origin_seq=seq, node=0, dst_shard=0, packet=None
+        )
+        for t, shard, seq in raw
+    ]
+    assume(len({message_sort_key(m) for m in messages}) == len(messages))
+    forward = sorted(messages, key=message_sort_key)
+    backward = sorted(reversed(messages), key=message_sort_key)
+    assert forward == backward
+    assert [m.arrival for m in forward] == sorted(m.arrival for m in forward)

@@ -1,0 +1,192 @@
+"""Edge-case tests pinning the :class:`repro.sim.Engine` contract.
+
+The sharded engine drives simulators only through the Engine protocol
+(:mod:`repro.sim.engine`), so the behaviors its windowed loop leans on —
+seed-stable replay after ``reset``, ``run(until=...)`` leaving the clock
+exactly at the horizon, rejection of past-time scheduling, and the
+pending/fired/cancelled life-cycle rules of ``reschedule``/``rearm`` —
+are contract, not implementation detail.  These tests keep
+:class:`~repro.sim.scheduler.Simulator` honest about each clause.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Engine
+from repro.sim.scheduler import SimulationError, Simulator
+
+
+def test_simulator_satisfies_engine_protocol():
+    assert isinstance(Simulator(), Engine)
+
+
+def test_reset_with_seed_replays_identically():
+    """reset(seed) must restore clock, counters, tie-break order and RNG
+    streams — a shard replayed from the same spec is byte-identical."""
+
+    def exercise(sim):
+        log = []
+        # Two events at the same instant: order is the scheduling order
+        # (tie-break counter), which reset must rewind too.
+        sim.schedule(1.0, lambda: log.append(("a", sim.now)))
+        sim.schedule(1.0, lambda: log.append(("b", sim.now)))
+        sim.schedule(2.0, lambda: log.append(("rng", sim.rng.stream("net.loss.s1").random())))
+        sim.run()
+        return log, sim.now, sim.events_fired
+
+    sim = Simulator(seed=42)
+    first = exercise(sim)
+    sim.reset(seed=42)
+    assert sim.now == 0.0
+    assert sim.pending == 0
+    assert sim.events_fired == 0
+    second = exercise(sim)
+    assert first == second
+
+
+def test_reset_without_seed_keeps_rng_state():
+    sim = Simulator(seed=7)
+    registry = sim.rng
+    before = sim.rng.stream("x").random()
+    sim.reset()
+    # Seedless reset keeps the registry (streams continue, not replay)...
+    assert sim.rng is registry
+    # ...while reseeding rebuilds it, replaying draws from the start.
+    sim.reset(seed=7)
+    assert sim.rng is not registry
+    assert sim.rng.stream("x").random() == before
+
+
+def test_reschedule_fired_event_raises():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.reschedule(event, 1.0)
+
+
+def test_reschedule_cancelled_event_raises():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.cancel(event)
+    with pytest.raises(ValueError):
+        sim.reschedule(event, 1.0)
+
+
+def test_reschedule_pending_event_moves_it():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(sim.now))
+    sim.reschedule(event, 5.0)
+    sim.run()
+    assert fired == [5.0]
+    assert sim.events_fired == 1
+
+
+def test_rearm_unfired_event_raises():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.rearm(event, 1.0)
+
+
+def test_rearm_cancelled_event_raises():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.cancel(event)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.rearm(event, 1.0)
+
+
+def test_rearm_fired_event_fires_again():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(sim.now))
+    sim.run()
+    sim.rearm(event, 2.0)
+    sim.run()
+    assert fired == [1.0, 3.0]
+
+
+def test_stop_only_interrupts_the_running_run():
+    sim = Simulator()
+    fired = []
+    # stop() before run() must not pre-empt the next run.
+    sim.stop()
+    sim.schedule(1.0, lambda: fired.append("first"))
+    sim.run()
+    assert fired == ["first"]
+
+
+def test_step_after_stop_still_fires():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append("a"), sim.stop()))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a"]  # stopped mid-run
+    assert sim.step() is True  # stop() does not poison single-stepping
+    assert fired == ["a", "b"]
+    assert sim.step() is False  # empty queue
+
+
+def test_run_resumes_after_stop():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append("a"), sim.stop()))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    assert sim.run() == 1.0
+    assert sim.run() == 2.0
+    assert fired == ["a", "b"]
+
+
+def test_run_until_advances_clock_to_horizon():
+    """run(until=t) leaves now == t even with no events — the windowed
+    lockstep depends on every shard's clock landing exactly on each
+    barrier so injected arrivals are never 'in the past'."""
+    sim = Simulator()
+    assert sim.run(until=3.5) == 3.5
+    assert sim.now == 3.5
+    sim.schedule(10.0, lambda: None)
+    assert sim.run(until=7.25) == 7.25
+    assert sim.pending == 1
+
+
+def test_past_time_scheduling_is_rejected():
+    sim = Simulator()
+    sim.run(until=5.0)
+    with pytest.raises(SimulationError):
+        sim.at(4.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.call_at(4.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+    event = sim.at(6.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.reschedule_at(event, 4.0)
+    with pytest.raises(SimulationError):
+        sim.reschedule(event, -1.0)
+
+
+def test_scheduling_at_now_is_allowed():
+    """Boundary injection at exactly the barrier time must be legal."""
+    sim = Simulator()
+    sim.run(until=5.0)
+    fired = []
+    sim.call_at(5.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+
+
+def test_max_events_safety_valve():
+    sim = Simulator()
+
+    def rearm_forever():
+        sim.schedule(0.1, rearm_forever)
+
+    sim.schedule(0.1, rearm_forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+    assert sim.events_fired == 100
