@@ -12,7 +12,16 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.config import SharqfecConfig
 from repro.core.injection import EwmaPredictor
-from repro.core.pdus import FecPdu, NackPdu, SessionPdu, ZcrChallengePdu, ZcrResponsePdu, ZcrTakeoverPdu
+from repro.core.pdus import (
+    FecPdu,
+    NackPdu,
+    SessionPdu,
+    ZcrChallengePdu,
+    ZcrElectPdu,
+    ZcrReconcilePdu,
+    ZcrResponsePdu,
+    ZcrTakeoverPdu,
+)
 from repro.core.session import SessionManager
 from repro.core.state import GroupState
 from repro.core.suppression import reply_delay
@@ -72,7 +81,13 @@ class SharqfecEndpoint:
             ZcrChallengePdu: self.election.handle_challenge,
             ZcrResponsePdu: self.election.handle_response,
             ZcrTakeoverPdu: self.election.handle_takeover,
+            ZcrElectPdu: self.election.handle_elect,
+            ZcrReconcilePdu: self._handle_reconcile,
         }
+        # Zones we currently pump repairs for as the believed ZCR; when the
+        # role is lost (deposed after a partition heals), the pump stops
+        # and the outstanding queues are handed to the successor.
+        self._authority_zones: Set[int] = set()
         # Per-zone accounting for run reports.
         self.repairs_by_zone: Dict[int, int] = {}
         self.nacks_by_zone: Dict[int, int] = {}
@@ -99,6 +114,12 @@ class SharqfecEndpoint:
     def start_session(self) -> None:
         """Begin session messaging and ZCR election."""
         self.join()
+        # Statically assigned roles (§5.2's "static ZCR") never pass
+        # through the role-change hook, so record the authority here —
+        # otherwise a later deposition could not detect the handoff.
+        for zid in self.zone_ids[:-1]:
+            if self.session.is_zcr(zid):
+                self._authority_zones.add(zid)
         self.session.start()
         self.election.start()
 
@@ -129,10 +150,22 @@ class SharqfecEndpoint:
         The base implementation restores participation only; receivers
         additionally resynchronize their LDP/RP state (see
         ``SharqfecReceiver.restart``).  A no-op on a running endpoint.
+
+        Pre-crash *election* state is discarded before rejoining: the zone
+        may have re-elected while we were down, so believed ZCRs, distance
+        measurements, in-flight election rounds, and our own authority
+        claims are all stale.  We re-learn the representatives from live
+        gossip (typically within one session interval) instead of resuming
+        a belief that could make us answer NACKs for a zone we no longer
+        represent.  Group/stream state intentionally survives, as a process
+        restart from disk would preserve it.
         """
         if not self._stopped:
             return
         self._stopped = False
+        self.session.forget_zcrs()
+        self.election.reset()
+        self._authority_zones.clear()
         self.join()
         self.session.start()
         self.election.start()
@@ -258,13 +291,84 @@ class SharqfecEndpoint:
         predecessor — otherwise a rep crash orphans pending repairs until
         the requesters' backoff timers re-NACK.
         """
-        if self._stopped or not self.session.is_zcr(zone_id):
+        if self._stopped:
             return
+        if not self.session.is_zcr(zone_id):
+            if zone_id in self._authority_zones:
+                self._authority_zones.discard(zone_id)
+                self._on_authority_lost(zone_id)
+            return
+        self._authority_zones.add(zone_id)
         if self.config.sender_only and not self.is_source:
             return
         for state in self.groups.values():
             if state.outstanding.get(zone_id, 0) > 0 and self._can_repair(state):
                 self._arm_reply_timer(zone_id, state, 0.0)
+
+    def _on_authority_lost(self, zone_id: int) -> None:
+        """Split-brain reconciliation, repair side: a higher-epoch rival
+        deposed us, so stop pumping the zone's repairs and hand off the
+        speculative queues.
+
+        The successor (and every other zone member) folds the snapshot in
+        with a max-merge — the queues already tracked by the survivors are
+        never *added* to, so the need both partition halves tracked
+        independently is served exactly once and healed extents are not
+        re-repaired.
+        """
+        outstanding = []
+        for group_id in sorted(self.groups):
+            state = self.groups[group_id]
+            timer = self._reply_timers.get((zone_id, group_id))
+            if timer is not None:
+                timer.cancel()
+            pending = state.outstanding.get(zone_id, 0)
+            if pending > 0:
+                outstanding.append((group_id, pending))
+        if not outstanding or not self.config.zcr_reconcile:
+            return
+        if self.config.sender_only and not self.is_source:
+            return  # nobody but the source pumps; nothing to hand off
+        tracer = self.sim.tracer
+        if tracer.wants("zcr.reconcile"):
+            tracer.emit(
+                self.sim.now,
+                "zcr.reconcile",
+                self.node_id,
+                {"zone": zone_id, "groups": [g for g, _ in outstanding]},
+            )
+        pdu = ZcrReconcilePdu(
+            src=self.node_id,
+            group=self.channels.session_group(zone_id),
+            size_bytes=self.config.zcr_pdu_size + 8 * len(outstanding),
+            zone_id=zone_id,
+            epoch=self.session.zcr_epoch.get(zone_id, 0),
+            outstanding=tuple(outstanding),
+        )
+        self.network.multicast(self.node_id, pdu)
+
+    def _handle_reconcile(self, pdu: ZcrReconcilePdu) -> None:
+        """Fold a deposed representative's repair-queue snapshot in.
+
+        Max-merge, exactly like NACK ``n_needed`` intake: the handed-off
+        count raises a zone's speculative queue only where the hearer's
+        own tracking is behind, and the normal repair machinery (authority
+        pumps at zero delay, everyone else suppresses) serves the rest.
+        """
+        zone_id = pdu.zone_id
+        if zone_id not in self._zone_pos:
+            return
+        distance: Optional[float] = None
+        for group_id, needed in pdu.outstanding:
+            state = self.group_state(group_id)
+            if needed > state.outstanding.get(zone_id, 0):
+                state.outstanding[zone_id] = needed
+            if self.config.sender_only and not self.is_source:
+                continue
+            if self._can_repair(state):
+                if distance is None:
+                    distance = self.session.peer_one_way(pdu.src)
+                self._arm_reply_timer(zone_id, state, distance)
 
     def _stream_extent(self) -> int:
         """Highest group whose data transmission is known finished (-1 if

@@ -74,6 +74,30 @@ class SharqfecConfig:
     zcr_watchdog_factor: float = 1.6   # non-ZCR watchdog = factor x interval
     zcr_takeover_margin: float = 0.002  # seconds of RTT advantage required
 
+    # --- explicit ZCR elections (failure detector + election rounds) ---
+    # When True, a per-zone failure detector derives ZCR liveness from
+    # session-message silence (session PDUs are loss-exempt, so silence
+    # means crash or partition, not loss) and a silent representative
+    # triggers an explicit election round instead of waiting for the
+    # challenge watchdog's free-for-all takeover bids.
+    zcr_election: bool = True
+    # A zone's ZCR speaks on the session channel about once per
+    # session_interval; this must comfortably exceed its upper bound.
+    zcr_liveness_timeout: float = 3.0
+    # Candidate-collection window of one election round.  Long enough for
+    # announcements to cross the zone, short against the liveness timeout.
+    zcr_election_window: float = 0.4
+    # Retry backoff when a computed winner dies mid-election: attempt ``i``
+    # waits about ``zcr_election_retry_base * 2**i`` before re-announcing.
+    zcr_election_retry_base: float = 0.3
+    # Attempts before the zone falls back to the bootstrap watchdog path.
+    zcr_election_max_retries: int = 4
+    # Split-brain reconciliation on partition heal: a deposed representative
+    # broadcasts its speculative repair queues (max-merged by hearers, never
+    # summed) and forces one deterministic re-election round if it is
+    # strictly closer than the rival that deposed it.
+    zcr_reconcile: bool = True
+
     # --- repair behaviour (§4) ---
     # NACK attempts at one zone before escalating to the next-larger zone.
     escalation_attempts: int = 2
@@ -127,6 +151,16 @@ class SharqfecConfig:
             lo, hi = getattr(self, name)
             if not 0 < lo <= hi:
                 raise ConfigError(f"{name} must satisfy 0 < lo <= hi")
+        for name in ("zcr_liveness_timeout", "zcr_election_window", "zcr_election_retry_base"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.zcr_liveness_timeout <= self.session_interval[1]:
+            raise ConfigError(
+                "zcr_liveness_timeout must exceed the session interval upper "
+                "bound (a live ZCR is only guaranteed to speak that often)"
+            )
+        if self.zcr_election_max_retries < 1:
+            raise ConfigError("zcr_election_max_retries must be >= 1")
 
     # ------------------------------------------------------------- derived
 

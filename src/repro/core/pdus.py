@@ -260,3 +260,74 @@ class ZcrTakeoverPdu(Packet):
 
     def describe(self) -> str:
         return f"ZCR_TAKE(zone={self.zone_id}, d={self.dist_to_parent:.4f}, e={self.epoch})"
+
+
+class ZcrElectPdu(Packet):
+    """Candidate announcement of one explicit election round.
+
+    Rounds are identified by ``(epoch, attempt)``: the epoch exceeds the
+    zone's current election epoch (so the eventual takeover wins on the
+    existing higher-epoch-wins rule) and the attempt counts bounded retries
+    after a computed winner died mid-election.  ``dist_to_parent`` is the
+    candidate's measured one-way distance to the parent ZCR, or negative
+    when unmeasured — unknown distances rank after every measured one.
+    """
+
+    __slots__ = ("zone_id", "epoch", "attempt", "candidate_id", "dist_to_parent")
+
+    def __init__(
+        self,
+        src: int,
+        group: int,
+        size_bytes: int,
+        zone_id: int,
+        epoch: int,
+        attempt: int,
+        dist_to_parent: float,
+    ) -> None:
+        super().__init__("ZCR_ELECT", src, group, size_bytes, loss_exempt=True)
+        self.zone_id = zone_id
+        self.epoch = epoch
+        self.attempt = attempt
+        self.candidate_id = src
+        self.dist_to_parent = dist_to_parent
+
+    def describe(self) -> str:
+        return (
+            f"ZCR_ELECT(zone={self.zone_id}, e={self.epoch}, a={self.attempt}, "
+            f"c={self.candidate_id}, d={self.dist_to_parent:.4f})"
+        )
+
+
+class ZcrReconcilePdu(Packet):
+    """Repair-state handoff from a deposed zone representative.
+
+    When a partition heals, the losing side's representative is deposed by
+    the higher-epoch winner; before going quiet it broadcasts its
+    speculative outstanding-repair queues as ``(group_id, n)`` pairs.
+    Hearers fold these in with a **max-merge** (never a sum), so the repair
+    need both split-brain halves tracked independently is served exactly
+    once — no duplicate injections, no re-repair of healed extents.
+    """
+
+    __slots__ = ("zone_id", "epoch", "outstanding")
+
+    def __init__(
+        self,
+        src: int,
+        group: int,
+        size_bytes: int,
+        zone_id: int,
+        epoch: int,
+        outstanding: Tuple[Tuple[int, int], ...],
+    ) -> None:
+        super().__init__("ZCR_RECON", src, group, size_bytes, loss_exempt=True)
+        self.zone_id = zone_id
+        self.epoch = epoch
+        self.outstanding = outstanding
+
+    def describe(self) -> str:
+        return (
+            f"ZCR_RECON(zone={self.zone_id}, e={self.epoch}, "
+            f"|groups|={len(self.outstanding)})"
+        )

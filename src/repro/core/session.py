@@ -70,6 +70,13 @@ class SessionManager:
         # that zone; the election machinery uses it to keep its timers and
         # distance measurements consistent.
         self.on_zcr_change = None  # type: ignore[assignment]
+        # Invoked with a zone_id whenever a session message from that
+        # zone's *believed ZCR* is heard — the liveness evidence the
+        # failure detector (repro.core.election) feeds on.  Session PDUs
+        # are loss-exempt, so silence on this hook means the believed
+        # representative is dead, partitioned away, or never agreed it
+        # holds the role; all three warrant an election.
+        self.on_zcr_heard = None  # type: ignore[assignment]
         # Invoked with a zone_id whenever our ZCR belief for that zone
         # changes for *any* reason (gossip adoption or election machinery).
         # The endpoint hooks this for repair-duty handoff: a newly believed
@@ -93,6 +100,22 @@ class SessionManager:
     def stop(self) -> None:
         """Halt session messaging."""
         self._timer.cancel()
+
+    def forget_zcrs(self) -> None:
+        """Discard every learned ZCR belief (crash-restart path).
+
+        A revived endpoint must re-learn each zone's representative from
+        live gossip instead of resuming pre-crash beliefs — the zone may
+        have re-elected while we were down, and acting on the stale view
+        (answering NACKs as a deposed ZCR, injecting preemptive FEC) would
+        duplicate the successor's work.  The root zone's ZCR is statically
+        the source and survives; election epochs are kept as the monotone
+        fence that stops our own stale state from resurrecting via gossip.
+        """
+        for zone in self.chain[:-1]:
+            zid = zone.zone_id
+            self.zcr_ids[zid] = None
+            self.zcr_parent_rtt.pop(zid, None)
 
     def _next_interval(self) -> float:
         if self._messages_sent < self.config.session_fast_count:
@@ -219,6 +242,12 @@ class SessionManager:
         chain = self.chain
         zcr_ids = self.zcr_ids
         index = self._zone_index.get(zone_id)
+        if (
+            index is not None
+            and pdu.src == zcr_ids.get(zone_id)
+            and self.on_zcr_heard is not None
+        ):
+            self.on_zcr_heard(zone_id)
         # Participation test, inlined from _participates_in (this path runs
         # once per session message heard; the index lookup is shared with
         # the overhear check below).

@@ -30,7 +30,8 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.core.config import SharqfecConfig
-from repro.core.pdus import ZcrChallengePdu, ZcrResponsePdu, ZcrTakeoverPdu
+from repro.core.election import ElectionCoordinator
+from repro.core.pdus import ZcrChallengePdu, ZcrElectPdu, ZcrResponsePdu, ZcrTakeoverPdu
 from repro.core.session import SessionManager
 from repro.sim.timers import Timer
 
@@ -79,6 +80,14 @@ class ZcrElection:
                 self.sim, lambda z=zid: self._send_takeover(z), name=f"zcrtake@{self.node_id}/{zid}"
             )
         session.on_zcr_change = self._on_belief_change
+        # The explicit election layer: failure detection from session
+        # silence plus deterministic election rounds (repro.core.election).
+        # The challenge machinery stays — it measures distances and remains
+        # the bootstrap/fallback path — but failover runs through rounds.
+        self.coordinator: Optional[ElectionCoordinator] = (
+            ElectionCoordinator(self) if self.config.zcr_election else None
+        )
+        session.on_zcr_heard = self._note_zcr_alive
 
     # -------------------------------------------------------------- lifecycle
 
@@ -102,12 +111,38 @@ class ZcrElection:
             else:
                 # A (static) ZCR is already known: plain liveness watchdog.
                 self._watchdog_timers[zid].restart(self._watchdog_delay())
+        if self.coordinator is not None:
+            self.coordinator.start()
 
     def stop(self) -> None:
         """Cancel every pending timer."""
         for table in (self._challenge_timers, self._watchdog_timers, self._takeover_timers):
             for timer in table.values():
                 timer.cancel()
+        if self.coordinator is not None:
+            self.coordinator.stop()
+
+    def reset(self) -> None:
+        """Discard all measurement and election state (crash-restart path).
+
+        A revived endpoint must not resume pre-crash beliefs: its distance
+        measurements are stale (the zone may have a new representative to
+        measure against) and a resumed election round could resurrect a
+        superseded claim.  Pairs with ``SessionManager.forget_zcrs``.
+        """
+        self.stop()
+        self._pending.clear()
+        self._challenges_sent.clear()
+        self._suspect_dead.clear()
+        self.my_dist_to_parent.clear()
+        self._raw_measure.clear()
+        if self.coordinator is not None:
+            self.coordinator.reset()
+
+    def _note_zcr_alive(self, zone_id: int) -> None:
+        """Session hook: a message from the believed ZCR of ``zone_id``."""
+        if self.coordinator is not None:
+            self.coordinator.note_alive(zone_id)
 
     def _challenge_interval(self) -> float:
         lo, hi = self.config.zcr_challenge_interval
@@ -173,6 +208,9 @@ class ZcrElection:
             sent_at=now,
         )
         self._pending[(zone_id, self.node_id)] = now
+        tracer = self.sim.tracer
+        if tracer.wants("zcr.challenge"):
+            tracer.emit(now, "zcr.challenge", self.node_id, {"zone": zone_id})
         self.network.multicast(self.node_id, pdu)
 
     def handle_challenge(self, pdu: ZcrChallengePdu) -> None:
@@ -188,6 +226,7 @@ class ZcrElection:
                 timer.restart(self._watchdog_delay())
             if pdu.challenger_id == self.session.zcr_ids.get(zone_id):
                 self._suspect_dead.discard(zone_id)
+                self._note_zcr_alive(zone_id)
         # The parent ZCR answers.  The challenged zone may not be in our own
         # chain (the parent ZCR sits *outside* the child zone), so identify
         # the parent zone from the channel the challenge arrived on.
@@ -259,10 +298,22 @@ class ZcrElection:
                 self._challenges_sent[zone_id] = 0
                 challenge.restart(self._rng.uniform(0.8, 1.2))
         else:
+            # A running challenge timer marks us as the previous incumbent:
+            # gossip just deposed us (the split-brain merge case when a
+            # heal lets a higher-epoch rival's state cross the old cut).
+            deposed = challenge.running
             challenge.cancel()
             if not watchdog.running:
                 watchdog.restart(self._watchdog_delay())
+            if deposed and self.coordinator is not None:
+                rival = self.session.zcr_ids.get(zone_id)
+                if rival is not None:
+                    self.coordinator.on_deposed(
+                        zone_id, rival, self.session.zcr_parent_rtt.get(zone_id)
+                    )
             self.reconsider(zone_id)
+        if self.coordinator is not None:
+            self.coordinator.on_belief_sync(zone_id)
 
     def reconsider(self, zone_id: int) -> None:
         """Re-derive our distance after the localZCR→parentZCR RTT changed."""
@@ -294,17 +345,65 @@ class ZcrElection:
             delay = 2.0 * dist + self._rng.uniform(0.0, 0.01)
             self._takeover_timers[zone_id].restart(delay)
 
+    # -------------------------------------------------------------- elections
+
+    def handle_elect(self, pdu: ZcrElectPdu) -> None:
+        """Candidate announcement of an explicit election round."""
+        if self.coordinator is not None:
+            self.coordinator.handle_elect(pdu)
+
+    def reassert(self, zone_id: int) -> None:
+        """Incumbent re-announcement at the current epoch (keeps the role;
+        used against stale election rounds and false death suspicions)."""
+        if self.session.is_zcr(zone_id):
+            self._send_takeover(zone_id)
+
+    def claim(self, zone_id: int, epoch: int, dist: Optional[float]) -> None:
+        """Won an election round: claim the zone at the round's epoch.
+
+        A winner elected before measuring its parent distance (possible
+        right after a crash wiped the zone's survivors' state) claims with
+        the configured default; the next challenge cycle corrects it.
+        """
+        if self.my_dist_to_parent.get(zone_id) is None:
+            self.my_dist_to_parent[zone_id] = (
+                dist if dist is not None else self.config.default_distance
+            )
+        self._send_takeover(zone_id, epoch=epoch)
+
+    def forget_incumbent(self, zone_id: int) -> None:
+        """Drop the zone's believed representative (election gave up).
+
+        The bootstrap watchdog then re-elects through fresh challenge
+        measurements; the kept epoch still fences off stale gossip.
+        """
+        self.session.zcr_ids[zone_id] = None
+        self.session.zcr_parent_rtt.pop(zone_id, None)
+        self._suspect_dead.discard(zone_id)
+        watchdog = self._watchdog_timers.get(zone_id)
+        if watchdog is not None:
+            watchdog.restart(self._rng.uniform(0.5, 1.5))
+
     # --------------------------------------------------------------- takeover
 
-    def _send_takeover(self, zone_id: int) -> None:
+    def _send_takeover(self, zone_id: int, epoch: Optional[int] = None) -> None:
         dist = self.my_dist_to_parent.get(zone_id)
         if dist is None:
             return
-        # Reasserting / refreshing as the incumbent keeps the epoch;
-        # usurping (or replacing a silent ZCR) starts a new round.
-        epoch = self.session.zcr_epoch.get(zone_id, 0)
-        if not self.session.is_zcr(zone_id):
-            epoch += 1
+        if epoch is None:
+            # Reasserting / refreshing as the incumbent keeps the epoch;
+            # usurping (or replacing a silent ZCR) starts a new round.
+            epoch = self.session.zcr_epoch.get(zone_id, 0)
+            if not self.session.is_zcr(zone_id):
+                epoch += 1
+        tracer = self.sim.tracer
+        if tracer.wants("zcr.takeover"):
+            tracer.emit(
+                self.sim.now,
+                "zcr.takeover",
+                self.node_id,
+                {"zone": zone_id, "epoch": epoch, "dist": dist},
+            )
         parent_zone = self._parent_zone_id(zone_id)
         self._adopt_zcr(zone_id, self.node_id, dist, epoch)
         for target_zone in (zone_id, parent_zone):
@@ -404,6 +503,13 @@ class ZcrElection:
                 challenge.cancel()
             if watchdog is not None:
                 watchdog.restart(self._watchdog_delay())
+        if self.coordinator is not None:
+            if was_me and new_zcr != self.node_id:
+                # Adopted a rival claim that displaced us (handle_takeover
+                # already reasserted if we were strictly closer, so this
+                # deposition stands — record it for the obs layer).
+                self.coordinator.on_deposed(zone_id, new_zcr, 2.0 * dist)
+            self.coordinator.on_belief_sync(zone_id)
         if belief_changed and self.session.on_role_change is not None:
             # Repair-duty handoff (failover hardening): the endpoint learns
             # the zone changed hands — if *we* are the new representative

@@ -175,16 +175,10 @@ class FaultInjector:
         )
 
     def _apply_partition(self, nodes: FrozenSet[int]) -> None:
-        """Down every currently-up link with exactly one endpoint inside."""
-        cut: List[Tuple[int, int]] = []
-        for link in self.network.links():
-            if (link.src in nodes) != (link.dst in nodes) and link.up:
-                link.fail()
-                cut.append((link.src, link.dst))
-        self._partition_links[nodes] = cut
-        if cut:
-            # link.fail() bypasses set_link_up, so kick reconvergence here.
-            self.network.topology_changed()
+        """Down every currently-up link with exactly one endpoint inside
+        (the network's link-set bisection), recording the cut for the
+        matching heal."""
+        self._partition_links[nodes] = self.network.bisect(nodes)
 
     def _apply_heal(self, nodes: FrozenSet[int]) -> None:
         """Restore the links the matching partition downed.
@@ -192,21 +186,7 @@ class FaultInjector:
         Healing an unseen node set restores the full current boundary —
         so a heal-only plan still behaves sensibly.
         """
-        cut = self._partition_links.pop(nodes, None)
-        changed = False
-        if cut is None:
-            for link in self.network.links():
-                if (link.src in nodes) != (link.dst in nodes) and not link.up:
-                    link.restore()
-                    changed = True
-        else:
-            for src, dst in cut:
-                link = self.network.link(src, dst)
-                if not link.up:
-                    link.restore()
-                    changed = True
-        if changed:
-            self.network.topology_changed()
+        self.network.heal_bisection(nodes, self._partition_links.pop(nodes, None))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "armed" if self._armed else "idle"

@@ -185,6 +185,17 @@ class FaultPlan:
             raise FaultError("heal needs a non-empty node set")
         return self._add(time, HEAL, nodes=node_set)
 
+    def partition_flap(
+        self, time: float, nodes: Iterable[int], heal_after: float
+    ) -> "FaultPlan":
+        """A :meth:`partition` at ``time`` healed ``heal_after`` seconds
+        later — the split-brain scenario in one step."""
+        if heal_after <= 0:
+            raise FaultError("heal_after must be positive")
+        node_set = set(nodes)
+        self.partition(time, node_set)
+        return self.heal(time + heal_after, node_set)
+
     def gilbert_elliott(
         self,
         time: float,

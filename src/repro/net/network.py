@@ -242,6 +242,57 @@ class Network:
         if changed:
             self.topology_changed()
 
+    def boundary_links(self, nodes: Iterable[int]) -> List["Link"]:
+        """The directed links crossing the cut around ``nodes`` (exactly one
+        endpoint inside the set), regardless of up/down state."""
+        inside = frozenset(nodes)
+        return [
+            link
+            for link in self._links.values()
+            if (link.src in inside) != (link.dst in inside)
+        ]
+
+    def bisect(self, nodes: Iterable[int]) -> List[Tuple[int, int]]:
+        """Partition ``nodes`` from the rest: fail every currently-up link
+        crossing the cut and schedule IGP reconvergence.
+
+        Returns the ``(src, dst)`` pairs actually downed, so the matching
+        :meth:`heal_bisection` restores those and only those — links that
+        were already down for an unrelated reason stay down across the
+        partition's lifetime.
+        """
+        cut: List[Tuple[int, int]] = []
+        for link in self.boundary_links(nodes):
+            if link.up:
+                link.fail()
+                cut.append((link.src, link.dst))
+        if cut:
+            # link.fail() bypasses set_link_up, so kick reconvergence here.
+            self.topology_changed()
+        return cut
+
+    def heal_bisection(
+        self, nodes: Iterable[int], cut: Optional[List[Tuple[int, int]]] = None
+    ) -> bool:
+        """Undo a :meth:`bisect`: restore ``cut`` (or, when None, every down
+        boundary link of the node set) and schedule reconvergence.  Returns
+        whether any link state actually changed."""
+        changed = False
+        if cut is None:
+            for link in self.boundary_links(nodes):
+                if not link.up:
+                    link.restore()
+                    changed = True
+        else:
+            for src, dst in cut:
+                link = self.link(src, dst)
+                if not link.up:
+                    link.restore()
+                    changed = True
+        if changed:
+            self.topology_changed()
+        return changed
+
     def set_loss_model(self, a: int, b: int, model: object, model_ba: object = None) -> None:
         """Install a stateful loss model on a→b (and optionally b→a).
 

@@ -51,6 +51,18 @@ PROTOCOL_CATEGORIES: Tuple[str, ...] = (
 #: Network-level control categories.
 NET_CATEGORIES: Tuple[str, ...] = ("net.reconverge",)
 
+#: ZCR election-lifecycle categories (emitted by repro.core.zcr /
+#: repro.core.election / repro.core.agent).
+ZCR_CATEGORIES: Tuple[str, ...] = (
+    "zcr.challenge",
+    "zcr.suspect",
+    "zcr.election",
+    "zcr.takeover",
+    "zcr.deposed",
+    "zcr.reconcile",
+    "zcr.failover",
+)
+
 
 def fault_categories() -> Tuple[str, ...]:
     """Every ``fault.<kind>`` category the injector can emit."""
@@ -61,7 +73,13 @@ def fault_categories() -> Tuple[str, ...]:
 
 def default_trace_categories() -> Tuple[str, ...]:
     """The full structured-trace category set (packets included)."""
-    return PKT_CATEGORIES + PROTOCOL_CATEGORIES + NET_CATEGORIES + fault_categories()
+    return (
+        PKT_CATEGORIES
+        + PROTOCOL_CATEGORIES
+        + NET_CATEGORIES
+        + ZCR_CATEGORIES
+        + fault_categories()
+    )
 
 
 #: Packet attributes worth exporting, in output order.
@@ -156,6 +174,8 @@ class RunObserver:
             return self
         for category in PROTOCOL_CATEGORIES:
             self._subscribe(category, self._on_protocol)
+        for category in ZCR_CATEGORIES:
+            self._subscribe(category, self._on_zcr)
         if self.global_events:
             for category in fault_categories():
                 self._subscribe(category, self._on_fault)
@@ -232,6 +252,23 @@ class RunObserver:
             f"{family}_per_interval", self.bin_width, protocol=protocol, zone=zone
         ).observe(record.time)
 
+    def _on_zcr(self, record: TraceRecord) -> None:
+        event = record.category.partition(".")[2]
+        detail = record.detail if isinstance(record.detail, dict) else {}
+        zone = detail.get("zone", -1)
+        self.registry.counter("zcr_events", event=event, zone=zone).inc()
+        if event == "failover":
+            # Failover latency: suspicion of the old representative to
+            # adoption of the new one, per observing member.  The gauges
+            # keep the worst and total; merged shard snapshots *sum*
+            # gauges, so cross-shard consumers should prefer the trace
+            # records for exact per-event latencies.
+            latency = float(detail.get("latency", 0.0))
+            worst = self.registry.gauge("zcr_failover_latency_max")
+            if latency > worst.value:
+                worst.set(latency)
+            self.registry.gauge("zcr_failover_latency_sum").add(latency)
+
     def _on_fault(self, record: TraceRecord) -> None:
         kind = record.category.partition(".")[2]
         self.registry.counter("faults", kind=kind).inc()
@@ -291,6 +328,18 @@ class RunObserver:
             str(k): v
             for k, v in self.registry.labeled_totals("faults", "kind").items()
         }
+
+    def zcr_event_counts(self) -> Dict[str, int]:
+        """Election-lifecycle events per kind (challenge, suspect,
+        election, takeover, deposed, reconcile, failover)."""
+        return {
+            str(k): v
+            for k, v in self.registry.labeled_totals("zcr_events", "event").items()
+        }
+
+    def max_failover_latency(self) -> float:
+        """Worst suspect-to-adoption latency observed (0.0 when none)."""
+        return self.registry.gauge("zcr_failover_latency_max").value
 
     def __enter__(self) -> "RunObserver":
         return self.attach()

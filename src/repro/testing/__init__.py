@@ -15,12 +15,18 @@ from repro.testing.invariants import (
     RepairContainment,
     TraceRecorder,
     assert_eventual_delivery,
+    assert_failover_within,
     assert_no_duplicate_delivery,
+    assert_no_duplicate_injection,
     assert_recovery_within,
     assert_replay_identical,
+    assert_single_zcr_per_zone,
     connected_receivers,
+    duplicate_injections,
+    failover_latencies,
     heal_deadline,
     incomplete_receivers,
+    zcr_views,
 )
 
 __all__ = [
@@ -28,13 +34,19 @@ __all__ = [
     "RepairContainment",
     "TraceRecorder",
     "assert_eventual_delivery",
+    "assert_failover_within",
     "assert_no_duplicate_delivery",
+    "assert_no_duplicate_injection",
     "assert_recovery_within",
     "assert_replay_identical",
+    "assert_single_zcr_per_zone",
     "connected_receivers",
+    "duplicate_injections",
+    "failover_latencies",
     "heal_deadline",
     "incomplete_receivers",
     "property_max_examples",
+    "zcr_views",
 ]
 
 

@@ -13,6 +13,13 @@ drivers all need to assert the same handful of end-to-end properties:
 * **bounded recovery** — after the last fault heals and routing reconverges,
   every surviving receiver completes within a stated allowance
   (:func:`assert_recovery_within` + :func:`heal_deadline`);
+* **single representative** — at quiescence every non-root zone's live
+  members agree on one live ZCR (no split brain survives a heal);
+* **no duplicate injection** — across a partition heal, no (zone, group)
+  repair extent is preemptively injected twice
+  (:func:`assert_no_duplicate_injection`);
+* **bounded failover** — every ZCR failover completes within a stated
+  suspect-to-adoption latency (:func:`assert_failover_within`);
 * **determinism** — a (topology, plan, seed) triple replays to a
   byte-identical trace.
 
@@ -302,6 +309,148 @@ class RepairContainment:
     def repairs_at(self, nodes: Iterable[int]) -> int:
         """Total FEC/REPAIR receptions across ``nodes``."""
         return sum(self.repair_seen.get(n, 0) for n in nodes)
+
+
+# ------------------------------------------------------------- ZCR elections
+
+
+def zcr_views(protocol, zone) -> Dict[int, Optional[int]]:
+    """Each live agent-member's believed ZCR of ``zone`` (skips routers and
+    crashed/departed agents — they hold no live belief to agree on)."""
+    agents = dict(protocol.receivers)
+    sender = getattr(protocol, "sender", None)
+    if sender is not None:
+        agents.setdefault(sender.node_id, sender)
+    views: Dict[int, Optional[int]] = {}
+    for node_id in sorted(zone.nodes):
+        agent = agents.get(node_id)
+        if agent is None or agent._stopped or not agent._joined:
+            continue
+        if agent.session.zone_level_index(zone.zone_id) is None:
+            continue
+        views[node_id] = agent.session.zcr_ids.get(zone.zone_id)
+    return views
+
+
+def assert_single_zcr_per_zone(protocol, context: str = "") -> Dict[int, int]:
+    """Quiescence invariant: every non-root zone's live members agree on
+    one live representative.  Returns ``{zone_id: zcr}`` for the checked
+    zones.  Zones with fewer than two live agent-members are skipped (a
+    lone survivor trivially "agrees" and may legitimately still be
+    electing itself).
+    """
+    prefix = f"{context}: " if context else ""
+    elected: Dict[int, int] = {}
+    for zone in protocol.hierarchy.zones():
+        if zone.zone_id == protocol.hierarchy.root.zone_id:
+            continue
+        views = zcr_views(protocol, zone)
+        if len(views) < 2:
+            continue
+        distinct = set(views.values())
+        if len(distinct) != 1:
+            raise InvariantViolation(
+                f"{prefix}split brain in zone {zone.name!r}: members "
+                f"disagree on the representative — {views}"
+            )
+        (zcr,) = distinct
+        if zcr is None:
+            raise InvariantViolation(
+                f"{prefix}zone {zone.name!r} has no representative at "
+                f"quiescence (members {sorted(views)})"
+            )
+        if zcr not in views:
+            raise InvariantViolation(
+                f"{prefix}zone {zone.name!r} members believe in {zcr}, "
+                f"which is not a live member of the zone ({views})"
+            )
+        elected[zone.zone_id] = zcr
+    return elected
+
+
+def duplicate_injections(
+    records: Sequence[TraceRecord], after: float = 0.0
+) -> List[str]:
+    """Duplicate preemptive-injection violations in a trace.
+
+    A node emits ``sharqfec.inject`` for a ``(zone, group)`` pair at most
+    once (at its completion of the group), so per pair the legitimate
+    histories are: one injector ever, or — during a partition — one
+    injector per side, all strictly before the heal at ``after``.  Any
+    injection at ``t >= after`` by a node that was not already that pair's
+    injector (or a second distinct post-heal injector) means the merged
+    zone re-repaired an extent the other side had already covered.
+    """
+    events: Dict[tuple, List[tuple]] = {}
+    for record in records:
+        if record.category != "sharqfec.inject":
+            continue
+        detail = record.detail if isinstance(record.detail, dict) else {}
+        key = (detail.get("zone"), detail.get("group"))
+        events.setdefault(key, []).append((record.time, record.node))
+    violations: List[str] = []
+    for key in sorted(events, key=repr):
+        timeline = sorted(events[key])
+        post = [(t, n) for t, n in timeline if t >= after]
+        if not post:
+            continue
+        pre_nodes = {n for t, n in timeline if t < after}
+        post_nodes = {n for _, n in post}
+        if len(post_nodes) > 1 or (pre_nodes and not post_nodes <= pre_nodes):
+            violations.append(
+                f"zone={key[0]} group={key[1]}: injectors "
+                f"{sorted(pre_nodes)} before t={after:g}, "
+                f"{sorted(post_nodes)} after — duplicate injection across the heal"
+            )
+    return violations
+
+
+def assert_no_duplicate_injection(
+    records: Sequence[TraceRecord], after: float = 0.0, context: str = ""
+) -> None:
+    """Raise unless no ``(zone, group)`` was re-injected across the heal."""
+    violations = duplicate_injections(records, after)
+    if violations:
+        prefix = f"{context}: " if context else ""
+        shown = "\n  ".join(violations[:10])
+        raise InvariantViolation(
+            f"{prefix}duplicate injections ({len(violations)} pairs):\n  {shown}"
+        )
+
+
+def failover_latencies(records: Sequence[TraceRecord]) -> List[float]:
+    """Suspect-to-adoption latencies from ``zcr.failover`` trace records."""
+    out: List[float] = []
+    for record in records:
+        if record.category != "zcr.failover":
+            continue
+        detail = record.detail if isinstance(record.detail, dict) else {}
+        out.append(float(detail.get("latency", 0.0)))
+    return out
+
+
+def assert_failover_within(
+    records: Sequence[TraceRecord],
+    bound: float,
+    require: int = 0,
+    context: str = "",
+) -> List[float]:
+    """Bounded-failover invariant: every observed failover completed within
+    ``bound`` seconds of suspicion, and at least ``require`` were observed.
+    Returns the latencies."""
+    prefix = f"{context}: " if context else ""
+    latencies = failover_latencies(records)
+    if len(latencies) < require:
+        raise InvariantViolation(
+            f"{prefix}expected >= {require} failover events, saw {len(latencies)}"
+        )
+    slow = [lat for lat in latencies if lat > bound]
+    if slow:
+        raise InvariantViolation(
+            f"{prefix}failover latency bound {bound:g}s exceeded: "
+            f"{sorted(slow, reverse=True)[:5]}"
+        )
+    return latencies
 
 
 # --------------------------------------------------------------- determinism

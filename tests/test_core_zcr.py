@@ -191,3 +191,132 @@ def test_election_is_deterministic_per_seed():
         return dict(agent.session.zcr_ids)
 
     assert run(7) == run(7)
+
+
+# ------------------------------------------------- election state machine
+
+
+def build_chain(seed, n=4, delay=0.020):
+    """Chain 0-1-...-(n-1) with zone {1..n-1}; returns (sim, net, h, zone)."""
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    for _ in range(n):
+        net.add_node()
+    for a in range(n - 1):
+        net.add_link(a, a + 1, 10e6, delay)
+    h = ZoneHierarchy()
+    root = h.add_root(range(n), name="Z0")
+    zone = h.add_zone(root.zone_id, set(range(1, n)), name="chain")
+    return sim, net, h, zone
+
+
+def test_two_simultaneous_zcr_candidate_crashes():
+    """Both the representative and its natural successor die at the same
+    instant: the lone survivor must still elect itself and carry on."""
+    sim, net, h, zone = build_chain(seed=11)
+    config = SharqfecConfig(n_packets=16)
+    proto = SharqfecProtocol(net, config, 0, [1, 2, 3], h)
+    sim.at(1.0, proto._start_sessions)
+    sim.run(until=6.0)
+    assert elected_zcr(proto, zone.zone_id) == 1
+    proto.crash_receiver(1)
+    proto.crash_receiver(2)
+    sim.run(until=40.0)
+    assert proto.receivers[3].session.zcr_ids.get(zone.zone_id) == 3
+
+
+def test_crash_during_election_retries_past_failed_winner():
+    """The would-be winner dies after announcing but before confirming its
+    takeover: survivors must time out the confirm, blacklist the failed
+    candidate and retry until a live one wins."""
+    sim, net, h, zone = build_chain(seed=12)
+    config = SharqfecConfig(n_packets=16)
+    proto = SharqfecProtocol(net, config, 0, [1, 2, 3], h)
+    sim.at(1.0, proto._start_sessions)
+    sim.run(until=6.0)
+    assert elected_zcr(proto, zone.zone_id) == 1
+
+    # Crash node 2 (the natural successor) just after the first election
+    # round opens — after it announces, before the round resolves.
+    crashed = []
+
+    def on_election(record):
+        if not crashed:
+            crashed.append(record.time)
+            sim.at(sim.now + 0.05, proto.crash_receiver, 2)
+
+    sim.tracer.subscribe("zcr.election", on_election)
+    try:
+        proto.crash_receiver(1)
+        sim.run(until=60.0)
+    finally:
+        sim.tracer.unsubscribe("zcr.election", on_election)
+    assert crashed, "the liveness detector never opened an election"
+    assert proto.receivers[3].session.zcr_ids.get(zone.zone_id) == 3
+
+
+def test_flapping_candidate_still_converges():
+    """A candidate that crash/restarts repeatedly during the election storm
+    must not wedge the zone: once the flapping stops, exactly one live
+    representative survives at every member."""
+    from repro.testing import assert_single_zcr_per_zone
+
+    sim, net, h, zone = build_chain(seed=13, n=5)
+    config = SharqfecConfig(n_packets=16)
+    proto = SharqfecProtocol(net, config, 0, [1, 2, 3, 4], h)
+    sim.at(1.0, proto._start_sessions)
+    sim.run(until=6.0)
+    assert elected_zcr(proto, zone.zone_id) == 1
+    # The rep dies for good; meanwhile the successor flaps three times.
+    proto.crash_receiver(1)
+    for t in (6.5, 9.5, 12.5):
+        sim.at(t, proto.crash_receiver, 2)
+        sim.at(t + 1.0, proto.restart_receiver, 2)
+    sim.run(until=80.0)
+    elected = assert_single_zcr_per_zone(proto, context="flapping candidate")
+    assert zone.zone_id in elected
+
+
+def test_restart_clears_stale_zcr_belief():
+    """Satellite regression: a receiver that crashes, misses a failover and
+    restarts must not keep acting on its pre-crash representative belief."""
+    sim, net, h, zone = build_chain(seed=14)
+    config = SharqfecConfig(n_packets=16)
+    proto = SharqfecProtocol(net, config, 0, [1, 2, 3], h)
+    sim.at(1.0, proto._start_sessions)
+    sim.run(until=6.0)
+    assert elected_zcr(proto, zone.zone_id) == 1
+    # Node 3 goes down, then the rep dies while 3 is blind.
+    proto.crash_receiver(3)
+    sim.at(7.0, proto.crash_receiver, 1)
+    sim.at(25.0, proto.restart_receiver, 3)
+    sim.run(until=60.0)
+    views = {
+        proto.receivers[n].session.zcr_ids.get(zone.zone_id) for n in (2, 3)
+    }
+    assert views == {2}, f"restarted node kept a stale belief: {views}"
+
+
+def test_failover_emits_bounded_latency_metric():
+    """The observer's election counters and the failover-latency gauge are
+    populated by a representative crash, and the latency stays within the
+    detector + election budget."""
+    from repro.obs import RunObserver
+
+    sim, net, h, zone = build_chain(seed=15)
+    config = SharqfecConfig(n_packets=16)
+    proto = SharqfecProtocol(net, config, 0, [1, 2, 3], h)
+    with RunObserver(sim) as obs:
+        sim.at(1.0, proto._start_sessions)
+        sim.run(until=6.0)
+        assert elected_zcr(proto, zone.zone_id) == 1
+        proto.crash_receiver(1)
+        sim.run(until=40.0)
+    counts = obs.zcr_event_counts()
+    assert counts.get("suspect", 0) >= 1
+    assert counts.get("election", 0) >= 1
+    assert counts.get("takeover", 0) >= 1
+    assert counts.get("failover", 0) >= 1
+    # Suspicion-to-adoption: a couple of election windows plus propagation,
+    # far under the liveness timeout that preceded it.
+    assert 0.0 < obs.max_failover_latency() < 5.0

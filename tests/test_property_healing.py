@@ -32,8 +32,10 @@ from repro.testing import (
     TraceRecorder,
     assert_eventual_delivery,
     assert_no_duplicate_delivery,
+    assert_no_duplicate_injection,
     assert_recovery_within,
     assert_replay_identical,
+    assert_single_zcr_per_zone,
     heal_deadline,
     property_max_examples,
 )
@@ -121,6 +123,62 @@ def test_healed_disruption_preserves_invariants_and_determinism(case):
     plan, seed = case
     assert_replay_identical(
         lambda: run_scenario(plan, seed),
+        runs=2,
+        context=f"seed={seed} plan={plan.describe()}",
+    )
+
+
+# ------------------------------------------------ split brain under partition
+
+# Long enough that the isolated side's liveness detector (3s nominal, with
+# up to 20% jitter) fires and it elects its own representative before the
+# heal — a genuine dual-authority window, not just a blackhole.
+PARTITION_DURATIONS = st.floats(min_value=4.5, max_value=6.5, allow_nan=False)
+
+
+@st.composite
+def partition_scenario(draw):
+    t = draw(st.floats(min_value=FAULT_LO, max_value=FAULT_HI, allow_nan=False))
+    dur = draw(PARTITION_DURATIONS)
+    plan = FaultPlan("split-brain").partition_flap(t, {3, 4}, heal_after=dur)
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return plan, t + dur, seed
+
+
+def run_partition_scenario(plan: FaultPlan, heal_at: float, seed: int) -> str:
+    sim = Simulator(seed=seed)
+    net = build_network(sim)
+    config = SharqfecConfig(n_packets=N_PACKETS, group_size=GROUP_SIZE)
+    protocol = SharqfecProtocol(net, config, 0, list(range(1, 8)), build_hierarchy())
+    FaultInjector(net, plan, protocol=protocol).arm()
+    context = f"seed={seed} plan={plan.describe()}"
+    with TraceRecorder(sim) as recorder, \
+            RepairContainment.for_protocol(protocol) as containment:
+        protocol.start(1.0, STREAM_START)
+        sim.run(until=150.0)
+        # Split-brain specifics, checked while agents are still live: after
+        # the heal exactly one authority per zone survives...
+        elected = assert_single_zcr_per_zone(protocol, context=context)
+        assert elected, f"{context}: single-ZCR check covered no zone"
+        protocol.stop()
+    assert_eventual_delivery(protocol, context=context)
+    assert_no_duplicate_delivery(protocol, context=context)
+    assert_recovery_within(
+        protocol, heal_deadline(net, plan, bound=100.0), context=context
+    )
+    containment.assert_contained(context=context)
+    # ...and no repair extent was preemptively injected twice across the
+    # merge.
+    assert_no_duplicate_injection(recorder.records, after=heal_at, context=context)
+    return recorder.render()
+
+
+@given(partition_scenario())
+@settings(max_examples=property_max_examples(4), deadline=None)
+def test_partition_dual_elections_heal_without_duplicate_injection(case):
+    plan, heal_at, seed = case
+    assert_replay_identical(
+        lambda: run_partition_scenario(plan, heal_at, seed),
         runs=2,
         context=f"seed={seed} plan={plan.describe()}",
     )
