@@ -1,0 +1,105 @@
+"""Hybrid-fidelity scaling benchmark driver.
+
+Runs :func:`suite.bench_hybrid` — national topologies from ~1k to ~10k
+receivers at flow fidelity, plus packet-fidelity rows at the shapes named
+by ``--packet-shapes`` — and writes ``BENCH_PR8.json`` at the repo root
+in the same ``{"current": {...}}`` layout as the PR-3/PR-6 harnesses.
+
+For every receiver count measured at both fidelities a
+``"speedup"`` entry records packet-wall over hybrid-wall.  The packet
+row at the full 10k shape takes ~12 minutes on one core, which is the
+point: the hybrid row covers the same run in tens of seconds.  The
+differential suite (``tests/test_hybrid_differential.py``), not this
+file, is what guarantees the two fidelities agree on outcomes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_hybrid_bench.py
+    PYTHONPATH=src python benchmarks/perf/run_hybrid_bench.py \\
+        --shapes 2,2,5,50 4,5,10,50 --packet-shapes 4,5,10,50 \\
+        --packets 8 --out BENCH_PR8.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR8.json")
+DEFAULT_SHAPES = ["2,2,5,50", "2,5,10,50", "4,5,10,50"]
+DEFAULT_PACKET_SHAPES = ["4,5,10,50"]
+
+
+def _parse_shape(text: str):
+    parts = tuple(int(p) for p in text.split(","))
+    if len(parts) != 4 or any(p < 1 for p in parts):
+        raise argparse.ArgumentTypeError(
+            f"shape must be regions,cities,suburbs,subscribers — got {text!r}"
+        )
+    return parts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--shapes",
+        type=_parse_shape,
+        nargs="+",
+        default=[_parse_shape(s) for s in DEFAULT_SHAPES],
+        help="regions,cities,suburbs,subscribers tuples run at hybrid "
+        "fidelity (default: ~1k, ~5k and ~10k receivers)",
+    )
+    parser.add_argument(
+        "--packet-shapes",
+        type=_parse_shape,
+        nargs="*",
+        default=[_parse_shape(s) for s in DEFAULT_PACKET_SHAPES],
+        help="shapes also run at packet fidelity for the speedup pairing "
+        "(default: the full 10k shape; pass none to skip the slow rows)",
+    )
+    parser.add_argument(
+        "--packets", type=int, default=8, help="CBR packets per run (default: 8)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="rounds per configuration; best kept"
+    )
+    parser.add_argument("--out", default=DEFAULT_OUT, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, HERE)
+    from suite import bench_hybrid
+
+    current = bench_hybrid(
+        shapes=tuple(args.shapes),
+        packet_shapes=tuple(args.packet_shapes),
+        n_packets=args.packets,
+        repeats=args.repeats,
+    )
+    speedup = {}
+    for name, metrics in current.items():
+        if not name.startswith("packet_r"):
+            continue
+        twin = current.get("hybrid_r" + name[len("packet_r"):])
+        if twin is not None:
+            speedup[name[len("packet_"):]] = round(
+                metrics["wall_s"] / twin["wall_s"], 3
+            )
+    report = {
+        "current": current,
+        "machine": {"cpu_count": os.cpu_count()},
+        "speedup": speedup,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

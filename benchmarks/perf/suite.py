@@ -303,6 +303,58 @@ def bench_sharded(
     return out
 
 
+def bench_hybrid(
+    shapes: Tuple[Tuple[int, int, int, int], ...] = (
+        (2, 2, 5, 50),
+        (2, 5, 10, 50),
+        (4, 5, 10, 50),
+    ),
+    packet_shapes: Tuple[Tuple[int, int, int, int], ...] = (),
+    n_packets: int = 8,
+    repeats: int = 1,
+) -> Dict[str, Dict[str, float]]:
+    """Receivers-vs-wall-clock at flow fidelity on national topologies.
+
+    ``shapes`` are ``(regions, cities, suburbs, subscribers)`` tuples run
+    at hybrid fidelity (the default trio spans ~1k → ~10k receivers);
+    ``packet_shapes`` adds packet-fidelity rows at the same shapes so the
+    driver can pair them into speedups.  Like :func:`bench_sharded` this
+    is not part of :func:`run_suite` — it postdates the frozen PR-3
+    baseline and is driven by ``run_hybrid_bench.py`` into
+    ``BENCH_PR8.json``.
+    """
+    from repro.engine import run_reference
+    from repro.experiments.national_scale import national_spec
+
+    def entry(shape: Tuple[int, int, int, int], fidelity: str) -> Dict[str, float]:
+        regions, cities, suburbs, subscribers = shape
+        spec = national_spec(
+            regions=regions,
+            cities_per_region=cities,
+            suburbs_per_city=suburbs,
+            subscribers_per_suburb=subscribers,
+            n_packets=n_packets,
+            fidelity=fidelity,
+        )
+        wall, merged = _best_wall(lambda: run_reference(spec), repeats)
+        return {
+            "wall_s": wall,
+            "receivers": float(merged.n_receivers),
+            "events": float(merged.events),
+            "completion": merged.completion,
+            "nacks": float(merged.nacks),
+        }
+
+    out: Dict[str, Dict[str, float]] = {}
+    for shape in shapes:
+        metrics = entry(shape, "hybrid")
+        out[f"hybrid_r{int(metrics['receivers'])}"] = metrics
+    for shape in packet_shapes:
+        metrics = entry(shape, "packet")
+        out[f"packet_r{int(metrics['receivers'])}"] = metrics
+    return out
+
+
 def run_suite(repeats: int = 3) -> Dict[str, Dict[str, float]]:
     """Run every kernel; returns {bench_name: measurements}."""
     return {

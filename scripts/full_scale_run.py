@@ -3,6 +3,7 @@
 measurements used by EXPERIMENTS.md."""
 
 import json
+import os
 import sys
 import time
 
@@ -60,7 +61,14 @@ def main() -> None:
         out["figures"][fig_name] = entry
         print(f"{fig_name} done in {time.time() - t0:.1f}s", flush=True)
 
-    with open(sys.argv[1] if len(sys.argv) > 1 else "full_scale_results.json", "w") as f:
+    if len(sys.argv) > 1:
+        out_path = sys.argv[1]
+    else:
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        results_dir = os.path.join(repo_root, "benchmarks", "results")
+        os.makedirs(results_dir, exist_ok=True)
+        out_path = os.path.join(results_dir, "full_scale_results.json")
+    with open(out_path, "w") as f:
         json.dump(out, f, indent=2)
     print("all done", flush=True)
 

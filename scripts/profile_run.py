@@ -50,11 +50,31 @@ def _run_flood() -> None:
     suite.run_flood()
 
 
+def _run_national(fidelity: str = "packet") -> None:
+    from repro.engine import run_reference
+    from repro.experiments.national_scale import national_spec
+
+    # A mid-sized national shape: big enough that fidelity matters,
+    # small enough to profile in seconds at packet fidelity.
+    run_reference(
+        national_spec(
+            regions=2,
+            cities_per_region=3,
+            suburbs_per_city=4,
+            subscribers_per_suburb=20,
+            n_packets=16,
+            seed=1,
+            fidelity=fidelity,
+        )
+    )
+
+
 TARGETS = {
     "traffic": (_run_traffic, "full SHARQFEC run, 128 packets, paper topology"),
     "fig11": (_run_fig11, "figure 11 session/RTT experiment"),
     "churn": (_run_churn, "timer-churn event-core workload"),
     "flood": (_run_flood, "forwarding-only multicast flood"),
+    "national": (_run_national, "mid-size national run (honors --fidelity)"),
 }
 
 
@@ -73,10 +93,21 @@ def main(argv=None) -> int:
         help="pstats sort key (default tottime)",
     )
     parser.add_argument("--out", default=None, help="also dump raw stats to this file (for snakeviz etc.)")
+    parser.add_argument(
+        "--fidelity",
+        choices=("packet", "hybrid"),
+        default="packet",
+        help="engine fidelity for the 'national' target (default packet)",
+    )
     args = parser.parse_args(argv)
 
     sys.path.insert(0, PERF_DIR)
-    workload, _ = TARGETS[args.target]
+    base_workload, _ = TARGETS[args.target]
+    if args.target == "national":
+        def workload() -> None:
+            base_workload(args.fidelity)
+    else:
+        workload = base_workload
     workload()  # warm imports and caches so the profile shows steady state
 
     profiler = cProfile.Profile()

@@ -30,6 +30,12 @@ class SharqfecReceiver(SharqfecEndpoint):
 
     is_source = False
 
+    #: Set by the hybrid fidelity engine (repro.hybrid): data delivery is
+    #: modeled analytically and applied in bulk, so group state created by
+    #: a stray early NACK/FEC must not arm an LDP timer — the flow engine's
+    #: apply event finalizes the group at the analytically correct time.
+    _flow_mode = False
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._ipt = self.config.inter_packet_interval  # refined per arrival
@@ -99,6 +105,8 @@ class SharqfecReceiver(SharqfecEndpoint):
     # ------------------------------------------------------------- LDP timer
 
     def _on_group_created(self, state: GroupState) -> None:
+        if self._flow_mode:
+            return
         self._arm_ldp_timer(state)
 
     def _arm_ldp_timer(self, state: GroupState) -> None:
@@ -181,6 +189,26 @@ class SharqfecReceiver(SharqfecEndpoint):
             return (2.0 ** i) * self._request_rng.uniform(lo, hi)
         return request_delay(self.config, self._request_rng, distance, state.backoff_i)
 
+    def _is_stuck_authority(self, state: GroupState, zone_id: int) -> bool:
+        """True when we are ``zone_id``'s repair authority but cannot serve
+        its queued demand (we are missing the data ourselves).
+
+        The zone then deadlocks unless *we* act: every other member's retry
+        is suppressed by the very queue we are failing to drain, so the
+        authority must fetch the repair from the parent scope on the zone's
+        behalf (§4 — ZCRs mediate repair between scopes).  Correlated
+        upstream loss produces exactly this shape: the whole zone (its
+        authority included) misses the same packet, a burst of simultaneous
+        NACKs raises everyone's ZLC and backoff, and no retry ever fires
+        inside the run.
+        """
+        return (
+            not self.config.sender_only
+            and zone_id in self._authority_zones
+            and not state.complete
+            and state.outstanding.get(zone_id, 0) > 0
+        )
+
     def _on_request_timer(self, group_id: int) -> None:
         state = self.groups.get(group_id)
         if state is None or state.complete:
@@ -189,7 +217,14 @@ class SharqfecReceiver(SharqfecEndpoint):
         covered = state.outstanding.get(zone_id, 0)
         fires = self._suppressed_fires.get(group_id, 0)
         send = False
-        if fires >= 2:
+        if self._is_stuck_authority(state, zone_id):
+            # The zone deadlocks unless we act, so our retries never stay
+            # suppressed: each fire sends, and the standard per-zone attempt
+            # counter in ``_send_nack`` escalates us to the parent scope —
+            # the same zone → zone → parent sequence a lone unsuppressed
+            # requester walks.
+            send = True
+        elif fires >= 2:
             # Two windows elapsed with repairs pending but none arriving:
             # the expectation failed — request again (§4's "should a
             # repairee detect that it has lost a repair ... new NACK").
@@ -281,13 +316,28 @@ class SharqfecReceiver(SharqfecEndpoint):
         self._nacks_heard_per_group[state.group_id] = (
             self._nacks_heard_per_group.get(state.group_id, 0) + 1
         )
-        if not increased:
+        # The zone's repair authority does not defer to its own zone's
+        # demand: growing its backoff / re-drawing its timer on every heard
+        # NACK would push the one member obligated to act (escalate when it
+        # cannot repair, see ``_is_stuck_authority``) behind the very storm
+        # it must resolve.
+        authority = (
+            not state.complete
+            and not self.config.sender_only
+            and pdu.zone_id in self._authority_zones
+        )
+        if not increased and not authority:
             # A NACK that did not raise the ZLC grows the backoff (§4).
             state.backoff_i = min(state.backoff_i + 1, self.config.max_backoff_exponent)
         if state.complete:
             return
         timer = self._request_timers.get(state.group_id)
-        if timer is not None and timer.running and state.llc <= state.zlc_for(pdu.zone_id):
+        if (
+            timer is not None
+            and timer.running
+            and not authority
+            and state.llc <= state.zlc_for(pdu.zone_id)
+        ):
             # Suppression: re-draw the pending request further out.
             timer.restart(self._request_delay(state))
         if timer is None or not timer.running:

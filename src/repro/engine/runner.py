@@ -55,10 +55,16 @@ class ShardedRunSpec:
     topology_params: Tuple[Tuple[str, object], ...] = ()
     fault_plan: Optional[FaultPlan] = None
     capture_trace: bool = False
+    #: "packet" runs the reference engine; "hybrid" swaps in the
+    #: packet/flow fidelity protocol (see docs/HYBRID.md).  The hybrid
+    #: layer still honors the SHARQFEC_HYBRID env toggle at run time.
+    fidelity: str = "packet"
 
     def validate(self) -> None:
         if self.topology not in ("figure10", "national"):
             raise EngineError(f"unknown topology {self.topology!r}")
+        if self.fidelity not in ("packet", "hybrid"):
+            raise EngineError(f"unknown fidelity {self.fidelity!r}")
         if self.fault_plan is not None:
             churn = [a for a in self.fault_plan.actions() if a.kind in CHURN_KINDS]
             if churn:
@@ -155,7 +161,13 @@ class LogicalShardRunner:
             global_events=(shard.index == 0),
         ).attach()
         config = variant_config(spec.protocol, spec.n_packets)
-        self.protocol = SharqfecProtocol(
+        if spec.fidelity == "hybrid":
+            from repro.hybrid import HybridSharqfecProtocol
+
+            protocol_cls = HybridSharqfecProtocol
+        else:
+            protocol_cls = SharqfecProtocol
+        self.protocol = protocol_cls(
             self.network,
             config,
             model.source,
@@ -254,6 +266,7 @@ class MergedRun:
         """The metrics file's ``run`` record (same schema as run_traffic)."""
         return {
             "protocol": self.spec.protocol,
+            "fidelity": self.spec.fidelity,
             "n_packets": self.spec.n_packets,
             "seed": self.spec.seed,
             "data_start": self.spec.data_start,

@@ -35,6 +35,15 @@ def build_parser() -> argparse.ArgumentParser:
         "for the in-process reference engine, N>0 for the multiprocessing "
         "engine (merged output is byte-identical either way)",
     )
+    parser.add_argument(
+        "--fidelity",
+        choices=("packet", "hybrid"),
+        default=None,
+        help="engine fidelity for the 'national' experiment: 'packet' "
+        "(default) simulates every data packet hop-by-hop; 'hybrid' keeps "
+        "packet fidelity for control traffic but delivers bulk data "
+        "analytically (see docs/HYBRID.md)",
+    )
     national = parser.add_argument_group(
         "national topology shape (only with the 'national' experiment)"
     )
@@ -118,6 +127,7 @@ def _run_national(args) -> int:
         n_packets=args.packets if args.packets is not None else 32,
         seed=args.seed,
         capture_trace=args.trace_out is not None,
+        fidelity=args.fidelity or "packet",
         **shape,
     )
     report = run_national(
@@ -141,6 +151,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_national(args)
     if args.shards is not None:
         print("--shards only applies to the 'national' experiment", file=sys.stderr)
+        return 2
+    if args.fidelity is not None:
+        print("--fidelity only applies to the 'national' experiment", file=sys.stderr)
         return 2
     from repro.experiments.common import observe_runs
 

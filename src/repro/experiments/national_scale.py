@@ -48,6 +48,7 @@ def national_spec(
     drain: float = 10.0,
     fault_plan: Optional[FaultPlan] = None,
     capture_trace: bool = False,
+    fidelity: str = "packet",
 ) -> ShardedRunSpec:
     """A sharded-run spec for a national topology of the given shape."""
     total_nodes = 1 + regions * (1 + cities_per_region * (1 + suburbs_per_city * subscribers_per_suburb))
@@ -56,6 +57,7 @@ def national_spec(
         n_packets=n_packets,
         seed=seed,
         drain=drain,
+        fidelity=fidelity,
         topology_params=(
             ("regions", regions),
             ("cities_per_region", cities_per_region),
@@ -92,6 +94,7 @@ class NationalRunReport:
             f"  engine:      {engine}",
             f"  shards:      {plan.n_shards} ({', '.join(s.key for s in plan.shards)})",
             f"  lookahead:   {lookahead}",
+            f"  fidelity:    {merged.spec.fidelity}",
             f"  receivers:   {merged.n_receivers}",
             f"  packets:     {merged.spec.n_packets}  seed={merged.spec.seed}",
             f"  completion:  {merged.completion:.4f}",

@@ -1,0 +1,27 @@
+"""Hybrid packet/flow fidelity engine (see docs/HYBRID.md).
+
+Packet fidelity for the control plane (NACK/repair/session/election,
+faults, churn), analytical flow fidelity for steady-state bulk data, and
+a pre-converged, wake-on-disturbance session plane.  Toggle with the
+``SHARQFEC_HYBRID`` environment variable (default ``on``; ``off`` makes
+:class:`HybridSharqfecProtocol` byte-identical to the packet engine).
+"""
+
+from repro.hybrid.flow import FlowDataEngine
+from repro.hybrid.protocol import HybridSharqfecProtocol, hybrid_enabled
+from repro.hybrid.seed import (
+    SeedPlan,
+    apply_seed_plan,
+    build_seed_plan,
+    seed_converged_state,
+)
+
+__all__ = [
+    "FlowDataEngine",
+    "HybridSharqfecProtocol",
+    "SeedPlan",
+    "apply_seed_plan",
+    "build_seed_plan",
+    "hybrid_enabled",
+    "seed_converged_state",
+]

@@ -107,6 +107,62 @@ class TrafficMonitor:
         record[1] += 1
         record[2] += event.size_bytes
 
+    def record_bulk(
+        self,
+        direction: str,
+        kind: str,
+        node: int,
+        t_base: float,
+        dt: float,
+        mask: int,
+        size_bytes: int,
+    ) -> None:
+        """Record a batch of same-kind packets in one call.
+
+        The hybrid flow engine (:mod:`repro.hybrid`) models a whole FEC
+        group's delivery analytically and reports the outcome here instead
+        of firing one observer event per packet.  ``mask`` is an integer
+        bitmask: bit ``i`` set means one packet of ``size_bytes`` at time
+        ``t_base + i * dt``.  Counts land in exactly the bins the
+        equivalent per-packet :meth:`on_send` / :meth:`on_receive` /
+        :meth:`on_drop` calls would have used.  Subscriber gating is the
+        caller's responsibility — bulk receive records are only emitted
+        for group subscribers, mirroring the per-packet path.
+        """
+        if mask == 0:
+            return
+        width = self.bin_width
+        key = (kind, node)
+        count = 0
+        if direction == "send":
+            bins = self._send_bins.setdefault(key, {})
+        else:
+            if direction == "recv":
+                table = self._stats
+            elif direction == "drop":
+                table = self._drop_stats
+            else:
+                raise ValueError(f"unknown traffic direction {direction!r}")
+            record = table.get(key)
+            if record is None:
+                record = table[key] = [{}, 0, 0]
+            bins = record[0]
+        m = mask
+        while m:
+            bit = m & -m
+            i = bit.bit_length() - 1
+            index = bin_index(t_base + i * dt, width)
+            bins[index] = bins.get(index, 0) + 1
+            count += 1
+            m ^= bit
+        if direction == "send":
+            self.sends[kind] = self.sends.get(kind, 0) + count
+            return
+        record[1] += count
+        record[2] += count * size_bytes
+        if direction == "drop":
+            self.drops += count
+
     # -------------------------------------------------------------- accessors
 
     def nodes_seen(self) -> List[int]:

@@ -98,6 +98,14 @@ class Network:
         # like the schedule cache; used by deliver_remote().
         self._index_cache: Dict[Tuple[int, int], Tuple[int, Dict[int, tuple]]] = {}
         self._in_batch = False
+        #: Callbacks invoked (synchronously, in registration order) from
+        #: :meth:`topology_changed` — i.e. on every runtime link/node state
+        #: change, partition, or heal.  The hybrid fidelity engine hooks
+        #: here to wake its suspended session plane; anything that needs to
+        #: react to disturbances without polling can register too.  Note
+        #: that :meth:`set_loss_model` deliberately does *not* fire these:
+        #: loss-rate changes alter packet fates, not topology.
+        self.on_disturbance: List[Callable[[], None]] = []
 
     def _drops(self, link: Link, packet: Packet) -> bool:
         model = link.loss_model
@@ -396,6 +404,8 @@ class Network:
         call it after mutating link state.
         """
         self._invalidate()
+        for callback in tuple(self.on_disturbance):
+            callback()
         if self.reconvergence_delay is None:
             return
         self.sim.schedule(self.reconvergence_delay, self._reconverge)
