@@ -26,11 +26,10 @@ from repro.core.session import SessionManager
 from repro.core.state import GroupState
 from repro.core.suppression import reply_delay
 from repro.core.zcr import ZcrElection
-from repro.net.network import Network
 from repro.net.packet import Packet
 from repro.scoping.channels import ScopedChannels
-from repro.sim.scheduler import Simulator
 from repro.sim.timers import Timer
+from repro.transport.api import Clock, Transport, deprecated_alias
 
 
 class SharqfecEndpoint:
@@ -41,20 +40,20 @@ class SharqfecEndpoint:
     def __init__(
         self,
         node_id: int,
-        sim: Simulator,
-        network: Network,
+        clock: Clock,
+        transport: Transport,
         channels: ScopedChannels,
         config: SharqfecConfig,
         source_id: int,
     ) -> None:
         self.node_id = node_id
-        self.sim = sim
-        self.network = network
+        self.clock = clock
+        self.transport = transport
         self.channels = channels
         self.config = config
         self.source_id = source_id
         self.session = SessionManager(
-            node_id, sim, network, channels, config, top_zcr=source_id
+            node_id, clock, transport, channels, config, top_zcr=source_id
         )
         self.election = ZcrElection(self.session)
         # The election owns on_zcr_change; repair-duty handoff and stream
@@ -71,7 +70,7 @@ class SharqfecEndpoint:
         self._predictors: Dict[int, EwmaPredictor] = {}
         self._zlc_sampled: Set[Tuple[int, int]] = set()
         self._last_nack_dist: Dict[Tuple[int, int], float] = {}
-        self._reply_rng = sim.rng.stream(f"sharqfec.reply.{node_id}")
+        self._reply_rng = clock.rng.stream(f"sharqfec.reply.{node_id}")
         self._joined = False
         self._stopped = False
         # Session-channel dispatch by exact PDU type (the hot path; none of
@@ -99,6 +98,10 @@ class SharqfecEndpoint:
             self._nack_start_index = len(self.zone_ids) - 1
         else:
             self._nack_start_index = 0
+
+    # Names from before the Clock/Transport split (PR 9); reads warn.
+    sim = deprecated_alias("sim", "clock")
+    network = deprecated_alias("network", "transport")
 
     # -------------------------------------------------------------- lifecycle
 
@@ -253,7 +256,7 @@ class SharqfecEndpoint:
         """Common FEC processing: identity intake, queue decrements."""
         state = self.group_state(pdu.group_id)
         was_complete = state.complete
-        state.record_index(pdu.index, self.sim.now)
+        state.record_index(pdu.index, self.clock.now)
         state.note_highest(pdu.new_high_id)
         state.backoff_i = 1
         # A repair on the channel of zone Zc was heard by every member of
@@ -329,10 +332,10 @@ class SharqfecEndpoint:
             return
         if self.config.sender_only and not self.is_source:
             return  # nobody but the source pumps; nothing to hand off
-        tracer = self.sim.tracer
+        tracer = self.clock.tracer
         if tracer.wants("zcr.reconcile"):
             tracer.emit(
-                self.sim.now,
+                self.clock.now,
                 "zcr.reconcile",
                 self.node_id,
                 {"zone": zone_id, "groups": [g for g, _ in outstanding]},
@@ -345,7 +348,7 @@ class SharqfecEndpoint:
             epoch=self.session.zcr_epoch.get(zone_id, 0),
             outstanding=tuple(outstanding),
         )
-        self.network.multicast(self.node_id, pdu)
+        self.transport.multicast(self.node_id, pdu)
 
     def _handle_reconcile(self, pdu: ZcrReconcilePdu) -> None:
         """Fold a deposed representative's repair-queue snapshot in.
@@ -390,7 +393,7 @@ class SharqfecEndpoint:
         timer = self._reply_timers.get(key)
         if timer is None:
             timer = Timer(
-                self.sim,
+                self.clock,
                 lambda z=zone_id, g=state.group_id: self._on_reply_timer(z, g),
                 name=f"reply@{self.node_id}/{zone_id}/{state.group_id}",
             )
@@ -429,15 +432,15 @@ class SharqfecEndpoint:
         if remaining > 0:
             state.outstanding[zone_id] = remaining - 1
         self.repairs_by_zone[zone_id] = self.repairs_by_zone.get(zone_id, 0) + 1
-        tracer = self.sim.tracer
+        tracer = self.clock.tracer
         if tracer.wants("sharqfec.repair"):
             tracer.emit(
-                self.sim.now,
+                self.clock.now,
                 "sharqfec.repair",
                 self.node_id,
                 {"zone": zone_id, "group": state.group_id, "index": index},
             )
-        self.network.multicast(self.node_id, pdu)
+        self.transport.multicast(self.node_id, pdu)
 
     # -------------------------------------------------- completion / injection
 
@@ -471,10 +474,10 @@ class SharqfecEndpoint:
             if inject <= 0:
                 continue
             state.outstanding[zone_id] = state.outstanding.get(zone_id, 0) + inject
-            tracer = self.sim.tracer
+            tracer = self.clock.tracer
             if tracer.wants("sharqfec.inject"):
                 tracer.emit(
-                    self.sim.now,
+                    self.clock.now,
                     "sharqfec.inject",
                     self.node_id,
                     {"zone": zone_id, "group": state.group_id, "n": inject},
@@ -523,7 +526,7 @@ class SharqfecEndpoint:
             if key in self._zlc_sampled:
                 continue
             self._zlc_sampled.add(key)
-            self.sim.schedule(wait, self._sample_zlc, state, zone_id)
+            self.clock.schedule(wait, self._sample_zlc, state, zone_id)
 
     def _sample_zlc(self, state: GroupState, zone_id: int) -> None:
         sample = state.zlc_for(zone_id)

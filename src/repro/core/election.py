@@ -83,12 +83,15 @@ class ElectionCoordinator:
     def __init__(self, zcr: "ZcrElection") -> None:
         self.zcr = zcr
         self.session = zcr.session
-        self.sim = zcr.sim
+        self.clock = zcr.clock
         self.config = zcr.config
-        self.network = zcr.network
+        self.transport = zcr.transport
+        # Legacy aliases from before the Clock/Transport split (PR 9).
+        self.sim = self.clock
+        self.network = self.transport
         self.channels = zcr.channels
         self.node_id = zcr.node_id
-        self._rng = self.sim.rng.stream(f"zcrelect.{self.node_id}")
+        self._rng = self.clock.rng.stream(f"zcrelect.{self.node_id}")
         # Per non-root chain zone (the electable ones):
         self._rounds: Dict[int, ZoneRound] = {}
         # zone -> computed winners that never produced a takeover.  Cleared
@@ -105,16 +108,16 @@ class ElectionCoordinator:
         for zone in self.session.chain[:-1]:
             zid = zone.zone_id
             self._detectors[zid] = Timer(
-                self.sim, lambda z=zid: self._on_detector(z), name=f"zcrfd@{self.node_id}/{zid}"
+                self.clock, lambda z=zid: self._on_detector(z), name=f"zcrfd@{self.node_id}/{zid}"
             )
             self._resolvers[zid] = Timer(
-                self.sim, lambda z=zid: self._on_resolve(z), name=f"zcrres@{self.node_id}/{zid}"
+                self.clock, lambda z=zid: self._on_resolve(z), name=f"zcrres@{self.node_id}/{zid}"
             )
             self._confirms[zid] = Timer(
-                self.sim, lambda z=zid: self._on_confirm(z), name=f"zcrcfm@{self.node_id}/{zid}"
+                self.clock, lambda z=zid: self._on_confirm(z), name=f"zcrcfm@{self.node_id}/{zid}"
             )
             self._retries[zid] = Timer(
-                self.sim, lambda z=zid: self._on_retry(z), name=f"zcrrty@{self.node_id}/{zid}"
+                self.clock, lambda z=zid: self._on_retry(z), name=f"zcrrty@{self.node_id}/{zid}"
             )
 
     # -------------------------------------------------------------- lifecycle
@@ -173,10 +176,10 @@ class ElectionCoordinator:
         believed = self.session.zcr_ids.get(zone_id)
         if believed is None or believed == self.node_id or zone_id in self._rounds:
             return
-        now = self.sim.now
+        now = self.clock.now
         self._suspect_at.setdefault(zone_id, (now, believed))
         self._failed.setdefault(zone_id, set()).add(believed)
-        tracer = self.sim.tracer
+        tracer = self.clock.tracer
         if tracer.wants("zcr.suspect"):
             tracer.emit(
                 now,
@@ -200,12 +203,12 @@ class ElectionCoordinator:
         self._begin_round(zone_id, epoch, 0, reason)
 
     def _begin_round(self, zone_id: int, epoch: int, attempt: int, reason: str) -> None:
-        now = self.sim.now
+        now = self.clock.now
         rnd = ZoneRound(epoch, attempt, reason, now)
         self._rounds[zone_id] = rnd
         self._confirms[zone_id].cancel()
         self._retries[zone_id].cancel()
-        tracer = self.sim.tracer
+        tracer = self.clock.tracer
         if tracer.wants("zcr.election"):
             tracer.emit(
                 now,
@@ -239,7 +242,7 @@ class ElectionCoordinator:
             attempt=rnd.attempt,
             dist_to_parent=dist,
         )
-        self.network.multicast(self.node_id, pdu)
+        self.transport.multicast(self.node_id, pdu)
 
     def _beats_all(self, zone_id: int, rnd: ZoneRound) -> bool:
         quantum = self._quantum()
@@ -266,7 +269,7 @@ class ElectionCoordinator:
         rnd = self._rounds.get(zone_id)
         key = (pdu.epoch, pdu.attempt)
         if rnd is None or key > (rnd.epoch, rnd.attempt):
-            rnd = ZoneRound(pdu.epoch, pdu.attempt, "joined", self.sim.now)
+            rnd = ZoneRound(pdu.epoch, pdu.attempt, "joined", self.clock.now)
             self._rounds[zone_id] = rnd
             self._confirms[zone_id].cancel()
             self._retries[zone_id].cancel()
@@ -381,11 +384,11 @@ class ElectionCoordinator:
         if changed and belief is not None:
             suspect = self._suspect_at.pop(zone_id, None)
             if suspect is not None and belief != suspect[1]:
-                latency = self.sim.now - suspect[0]
-                tracer = self.sim.tracer
+                latency = self.clock.now - suspect[0]
+                tracer = self.clock.tracer
                 if tracer.wants("zcr.failover"):
                     tracer.emit(
-                        self.sim.now,
+                        self.clock.now,
                         "zcr.failover",
                         self.node_id,
                         {"zone": zone_id, "zcr": belief, "latency": latency},
@@ -398,10 +401,10 @@ class ElectionCoordinator:
         force one deterministic re-election round if we are strictly
         closer (it converges: the next round's epoch beats the rival's, we
         win on distance, and the rival has no counter-claim)."""
-        tracer = self.sim.tracer
+        tracer = self.clock.tracer
         if tracer.wants("zcr.deposed"):
             tracer.emit(
-                self.sim.now,
+                self.clock.now,
                 "zcr.deposed",
                 self.node_id,
                 {

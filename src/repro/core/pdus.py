@@ -35,8 +35,7 @@ class DataPdu(Packet):
         self.index = index
         self.payload = payload
 
-    def describe(self) -> str:
-        return f"DATA(seq={self.seq}, g={self.group_id}, i={self.index})"
+    _DESCRIBE_FIELDS = ("seq", "group_id", "index", "payload")
 
 
 class FecPdu(Packet):
@@ -67,8 +66,7 @@ class FecPdu(Packet):
         self.zone_id = zone_id
         self.payload = payload
 
-    def describe(self) -> str:
-        return f"FEC(g={self.group_id}, i={self.index}, zone={self.zone_id})"
+    _DESCRIBE_FIELDS = ("group_id", "index", "new_high_id", "zone_id", "payload")
 
 
 class RttChainEntry(NamedTuple):
@@ -116,11 +114,14 @@ class NackPdu(Packet):
         self.zone_id = zone_id
         self.rtt_chain = rtt_chain
 
-    def describe(self) -> str:
-        return (
-            f"NACK(g={self.group_id}, llc={self.llc}, need={self.n_needed}, "
-            f"zone={self.zone_id})"
-        )
+    _DESCRIBE_FIELDS = (
+        "group_id",
+        "llc",
+        "highest_seen",
+        "n_needed",
+        "zone_id",
+        "rtt_chain",
+    )
 
 
 class SessionEntry(NamedTuple):
@@ -184,8 +185,15 @@ class SessionPdu(Packet):
         # detect wholly-missed groups (SRM session highest_seq analogue).
         self.highest_group = highest_group
 
-    def describe(self) -> str:
-        return f"SESSION(zone={self.zone_id}, |entries|={len(self.entries)})"
+    _DESCRIBE_FIELDS = (
+        "zone_id",
+        "timestamp",
+        "zcr_id",
+        "zcr_parent_rtt",
+        "zcr_epoch",
+        "highest_group",
+        "entries",
+    )
 
 
 class ZcrChallengePdu(Packet):
@@ -206,8 +214,7 @@ class ZcrChallengePdu(Packet):
         self.challenger_id = src
         self.sent_at = sent_at
 
-    def describe(self) -> str:
-        return f"ZCR_CHAL(zone={self.zone_id}, from={self.challenger_id})"
+    _DESCRIBE_FIELDS = ("zone_id", "challenger_id", "sent_at")
 
 
 class ZcrResponsePdu(Packet):
@@ -229,8 +236,7 @@ class ZcrResponsePdu(Packet):
         self.challenger_id = challenger_id
         self.processing_delay = processing_delay
 
-    def describe(self) -> str:
-        return f"ZCR_RESP(zone={self.zone_id})"
+    _DESCRIBE_FIELDS = ("zone_id", "challenger_id", "processing_delay")
 
 
 class ZcrTakeoverPdu(Packet):
@@ -258,8 +264,7 @@ class ZcrTakeoverPdu(Packet):
         self.dist_to_parent = dist_to_parent
         self.epoch = epoch
 
-    def describe(self) -> str:
-        return f"ZCR_TAKE(zone={self.zone_id}, d={self.dist_to_parent:.4f}, e={self.epoch})"
+    _DESCRIBE_FIELDS = ("zone_id", "dist_to_parent", "epoch")
 
 
 class ZcrElectPdu(Packet):
@@ -292,11 +297,7 @@ class ZcrElectPdu(Packet):
         self.candidate_id = src
         self.dist_to_parent = dist_to_parent
 
-    def describe(self) -> str:
-        return (
-            f"ZCR_ELECT(zone={self.zone_id}, e={self.epoch}, a={self.attempt}, "
-            f"c={self.candidate_id}, d={self.dist_to_parent:.4f})"
-        )
+    _DESCRIBE_FIELDS = ("zone_id", "epoch", "attempt", "candidate_id", "dist_to_parent")
 
 
 class ZcrReconcilePdu(Packet):
@@ -326,8 +327,4 @@ class ZcrReconcilePdu(Packet):
         self.epoch = epoch
         self.outstanding = outstanding
 
-    def describe(self) -> str:
-        return (
-            f"ZCR_RECON(zone={self.zone_id}, e={self.epoch}, "
-            f"|groups|={len(self.outstanding)})"
-        )
+    _DESCRIBE_FIELDS = ("zone_id", "epoch", "outstanding")

@@ -45,7 +45,7 @@ class SharqfecReceiver(SharqfecEndpoint):
         self._ldp_timers: Dict[int, Timer] = {}
         self._request_timers: Dict[int, Timer] = {}
         self._suppressed_fires: Dict[int, int] = {}
-        self._request_rng = self.sim.rng.stream(f"sharqfec.request.{self.node_id}")
+        self._request_rng = self.clock.rng.stream(f"sharqfec.request.{self.node_id}")
         self.nacks_sent = 0
         self.data_received = 0
         # §7 future work: adaptive request-timer constants.  Reuses the SRM
@@ -62,7 +62,7 @@ class SharqfecReceiver(SharqfecEndpoint):
     def handle_data(self, packet: Packet) -> None:
         if not isinstance(packet, DataPdu):
             return
-        now = self.sim.now
+        now = self.clock.now
         self.data_received += 1
         self._update_ipt(packet.seq, now)
         state = self.group_state(packet.group_id)
@@ -115,14 +115,14 @@ class SharqfecReceiver(SharqfecEndpoint):
         timer = self._ldp_timers.get(state.group_id)
         if timer is None:
             timer = Timer(
-                self.sim,
+                self.clock,
                 lambda g=state.group_id: self._on_ldp_expired(g),
                 name=f"ldp@{self.node_id}/{state.group_id}",
             )
             self._ldp_timers[state.group_id] = timer
         remaining = state.k - 1 - state.max_data_index_seen
-        deadline = self.sim.now + remaining * self._ipt + 2.0 * self._ipt
-        timer.restart(max(deadline - self.sim.now, 0.0))
+        deadline = self.clock.now + remaining * self._ipt + 2.0 * self._ipt
+        timer.restart(max(deadline - self.clock.now, 0.0))
 
     def _on_ldp_expired(self, group_id: int) -> None:
         state = self.groups.get(group_id)
@@ -135,8 +135,8 @@ class SharqfecReceiver(SharqfecEndpoint):
                 + (state.k - 1 - state.max_data_index_seen) * self._ipt
                 + 2.0 * self._ipt
             )
-            if expected_end > self.sim.now + 1e-9:
-                self._ldp_timers[group_id].restart(expected_end - self.sim.now)
+            if expected_end > self.clock.now + 1e-9:
+                self._ldp_timers[group_id].restart(expected_end - self.clock.now)
                 return
         self._finalize_group(state)
 
@@ -172,7 +172,7 @@ class SharqfecReceiver(SharqfecEndpoint):
         timer = self._request_timers.get(state.group_id)
         if timer is None:
             timer = Timer(
-                self.sim,
+                self.clock,
                 lambda g=state.group_id: self._on_request_timer(g),
                 name=f"req@{self.node_id}/{state.group_id}",
             )
@@ -295,10 +295,10 @@ class SharqfecReceiver(SharqfecEndpoint):
             state.attempts_at_zone = 0
         self.nacks_sent += 1
         self.nacks_by_zone[zone_id] = self.nacks_by_zone.get(zone_id, 0) + 1
-        tracer = self.sim.tracer
+        tracer = self.clock.tracer
         if tracer.wants("sharqfec.nack"):
             tracer.emit(
-                self.sim.now,
+                self.clock.now,
                 "sharqfec.nack",
                 self.node_id,
                 {
@@ -308,7 +308,7 @@ class SharqfecReceiver(SharqfecEndpoint):
                     "needed": needed,
                 },
             )
-        self.network.multicast(self.node_id, pdu)
+        self.transport.multicast(self.node_id, pdu)
 
     # --------------------------------------------------------- NACK reception
 

@@ -36,7 +36,7 @@ class SharqfecSender(SharqfecEndpoint):
         """Schedule the whole CBR emission starting at ``t_start``."""
         ipt = self.config.inter_packet_interval
         for seq in range(self.config.n_packets):
-            self.sim.at(t_start + seq * ipt, self._emit, seq)
+            self.clock.at(t_start + seq * ipt, self._emit, seq)
 
     def _emit(self, seq: int) -> None:
         group_id = seq // self.config.group_size
@@ -51,11 +51,11 @@ class SharqfecSender(SharqfecEndpoint):
             index=index,
         )
         self.packets_sent += 1
-        self.network.multicast(self.node_id, pdu)
+        self.transport.multicast(self.node_id, pdu)
         if index == state.k - 1:
             self._enter_repair_phase(state)
             if seq == self.config.n_packets - 1:
-                self.finished_at = self.sim.now
+                self.finished_at = self.clock.now
 
     def _on_group_created(self, state: GroupState) -> None:
         # The sender holds every original packet by construction.

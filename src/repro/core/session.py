@@ -20,11 +20,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.config import SharqfecConfig
 from repro.core.pdus import RttChainEntry, SessionEntry, SessionPdu
 from repro.core.rtt import RttTable
-from repro.net.network import Network
 from repro.scoping.channels import ScopedChannels
 from repro.scoping.zone import Zone
-from repro.sim.scheduler import Simulator
 from repro.sim.timers import Timer
+from repro.transport.api import Clock, Transport, deprecated_alias
 
 
 class SessionManager:
@@ -33,15 +32,15 @@ class SessionManager:
     def __init__(
         self,
         node_id: int,
-        sim: Simulator,
-        network: Network,
+        clock: Clock,
+        transport: Transport,
         channels: ScopedChannels,
         config: SharqfecConfig,
         top_zcr: Optional[int] = None,
     ) -> None:
         self.node_id = node_id
-        self.sim = sim
-        self.network = network
+        self.clock = clock
+        self.transport = transport
         self.channels = channels
         self.config = config
         self.chain: List[Zone] = channels.hierarchy.chain_for(node_id)
@@ -62,9 +61,9 @@ class SessionManager:
         # takeover after a failure bumps it so stale gossip cannot
         # resurrect a dead representative).
         self.zcr_epoch: Dict[int, int] = {}
-        self._timer = Timer(sim, self._on_session_timer, name=f"session@{node_id}")
+        self._timer = Timer(clock, self._on_session_timer, name=f"session@{node_id}")
         self._messages_sent = 0
-        self._rng = sim.rng.stream(f"session.{node_id}")
+        self._rng = clock.rng.stream(f"session.{node_id}")
         self.messages_received = 0
         # Invoked with a zone_id whenever gossip changes our ZCR belief for
         # that zone; the election machinery uses it to keep its timers and
@@ -90,6 +89,10 @@ class SessionManager:
         # Optional (group_id) -> None invoked when a peer advertises a
         # stream extent; receivers use it for tail-loss/churn resync.
         self.on_stream_extent = None  # type: ignore[assignment]
+
+    # Names from before the Clock/Transport split (PR 9); reads warn.
+    sim = deprecated_alias("sim", "clock")
+    network = deprecated_alias("network", "transport")
 
     # -------------------------------------------------------------- lifecycle
 
@@ -127,7 +130,7 @@ class SessionManager:
     def _on_session_timer(self) -> None:
         # Departed members age out of our echo lists (§5's entries carry
         # "time elapsed since the last session message" for this purpose).
-        self.rtt.prune_stale(self.sim.now, self.config.session_peer_timeout)
+        self.rtt.prune_stale(self.clock.now, self.config.session_peer_timeout)
         for zone in self.participation_zones():
             self._send_session_message(zone)
         self._messages_sent += 1
@@ -182,7 +185,7 @@ class SessionManager:
     # ----------------------------------------------------------------- sending
 
     def _send_session_message(self, zone: Zone) -> None:
-        now = self.sim.now
+        now = self.clock.now
         heard = self.rtt.heard_in_zone(zone.zone_id)
         rtt_get = self.rtt.get
         entries = tuple(
@@ -211,7 +214,7 @@ class SessionManager:
             zcr_epoch=self.zcr_epoch.get(zone.zone_id, 0),
             highest_group=extent,
         )
-        self.network.multicast(self.node_id, pdu)
+        self.transport.multicast(self.node_id, pdu)
 
     def _advertised_parent_rtt(self, zone: Zone) -> float:
         """RTT between ``zone``'s ZCR and the parent zone's ZCR, if known."""
@@ -234,7 +237,7 @@ class SessionManager:
         node_id = self.node_id
         if pdu.src == node_id:
             return
-        now = self.sim.now
+        now = self.clock.now
         self.messages_received += 1
         if pdu.highest_group >= 0 and self.on_stream_extent is not None:
             self.on_stream_extent(pdu.highest_group)

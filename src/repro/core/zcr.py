@@ -42,11 +42,14 @@ class ZcrElection:
     def __init__(self, session: SessionManager) -> None:
         self.session = session
         self.node_id = session.node_id
-        self.sim = session.sim
+        self.clock = session.clock
         self.config = session.config
-        self.network = session.network
+        self.transport = session.transport
+        # Legacy aliases from before the Clock/Transport split (PR 9).
+        self.sim = self.clock
+        self.network = self.transport
         self.channels = session.channels
-        self._rng = self.sim.rng.stream(f"zcr.{self.node_id}")
+        self._rng = self.clock.rng.stream(f"zcr.{self.node_id}")
         # Per non-root chain zone:
         self._challenge_timers: Dict[int, Timer] = {}
         self._watchdog_timers: Dict[int, Timer] = {}
@@ -71,13 +74,13 @@ class ZcrElection:
         for zone in session.chain[:-1]:
             zid = zone.zone_id
             self._challenge_timers[zid] = Timer(
-                self.sim, lambda z=zid: self._on_challenge_timer(z), name=f"zcrchal@{self.node_id}/{zid}"
+                self.clock, lambda z=zid: self._on_challenge_timer(z), name=f"zcrchal@{self.node_id}/{zid}"
             )
             self._watchdog_timers[zid] = Timer(
-                self.sim, lambda z=zid: self._on_watchdog(z), name=f"zcrdog@{self.node_id}/{zid}"
+                self.clock, lambda z=zid: self._on_watchdog(z), name=f"zcrdog@{self.node_id}/{zid}"
             )
             self._takeover_timers[zid] = Timer(
-                self.sim, lambda z=zid: self._send_takeover(z), name=f"zcrtake@{self.node_id}/{zid}"
+                self.clock, lambda z=zid: self._send_takeover(z), name=f"zcrtake@{self.node_id}/{zid}"
             )
         session.on_zcr_change = self._on_belief_change
         # The explicit election layer: failure detection from session
@@ -199,7 +202,7 @@ class ZcrElection:
         parent_zone = self._parent_zone_id(zone_id)
         if parent_zone is None:
             return
-        now = self.sim.now
+        now = self.clock.now
         pdu = ZcrChallengePdu(
             src=self.node_id,
             group=self.channels.session_group(parent_zone),
@@ -208,14 +211,14 @@ class ZcrElection:
             sent_at=now,
         )
         self._pending[(zone_id, self.node_id)] = now
-        tracer = self.sim.tracer
+        tracer = self.clock.tracer
         if tracer.wants("zcr.challenge"):
             tracer.emit(now, "zcr.challenge", self.node_id, {"zone": zone_id})
-        self.network.multicast(self.node_id, pdu)
+        self.transport.multicast(self.node_id, pdu)
 
     def handle_challenge(self, pdu: ZcrChallengePdu) -> None:
         """A challenge for ``pdu.zone_id`` was heard on the parent channel."""
-        now = self.sim.now
+        now = self.clock.now
         zone_id = pdu.zone_id
         if self.session.zone_level_index(zone_id) is not None:
             # We are a member of the challenged zone: note the arrival time
@@ -243,7 +246,7 @@ class ZcrElection:
             challenger_id=challenger,
             processing_delay=0.0,
         )
-        self.network.multicast(self.node_id, pdu)
+        self.transport.multicast(self.node_id, pdu)
 
     # --------------------------------------------------------------- response
 
@@ -256,7 +259,7 @@ class ZcrElection:
         t_chal = self._pending.pop((zone_id, pdu.challenger_id), None)
         if t_chal is None:
             return
-        now = self.sim.now
+        now = self.clock.now
         elapsed = now - t_chal - pdu.processing_delay
         if pdu.challenger_id == self.node_id:
             dist = elapsed / 2.0
@@ -396,10 +399,10 @@ class ZcrElection:
             epoch = self.session.zcr_epoch.get(zone_id, 0)
             if not self.session.is_zcr(zone_id):
                 epoch += 1
-        tracer = self.sim.tracer
+        tracer = self.clock.tracer
         if tracer.wants("zcr.takeover"):
             tracer.emit(
-                self.sim.now,
+                self.clock.now,
                 "zcr.takeover",
                 self.node_id,
                 {"zone": zone_id, "epoch": epoch, "dist": dist},
@@ -417,7 +420,7 @@ class ZcrElection:
                 dist_to_parent=dist,
                 epoch=epoch,
             )
-            self.network.multicast(self.node_id, pdu)
+            self.transport.multicast(self.node_id, pdu)
 
     def handle_takeover(self, pdu: ZcrTakeoverPdu) -> None:
         """Accept, suppress against, or reassert over a takeover claim."""

@@ -39,6 +39,10 @@ class FaultError(ReproError):
     """Invalid fault-injection request (bad plan, unknown target, ...)."""
 
 
+class WireError(ReproError):
+    """Malformed or unencodable wire frame (bad magic, truncation, ...)."""
+
+
 class EngineError(ReproError):
     """Invalid sharded-engine request (unshardable topology, bad spec, ...)."""
 

@@ -29,16 +29,22 @@ from repro.fec.gf256 import GF256
 HAVE_NUMPY = np is not None
 
 
-def default_codec(k: int):
+def default_codec(k: int, flags=None):
     """The preferred codec for group size ``k``.
 
-    The numpy-vectorized codec when numpy is importable (and
-    ``SHARQFEC_PURE_FEC`` does not force the reference path), else the
-    pure-Python codec.  Byte-identical output either way.
-    """
-    import os
+    The numpy-vectorized codec when numpy is importable and the resolved
+    feature flags do not force the reference path, else the pure-Python
+    codec.  Byte-identical output either way.
 
-    if HAVE_NUMPY and os.environ.get("SHARQFEC_PURE_FEC", "0") != "1":
+    ``flags`` is an optional :class:`repro.core.config.FeatureFlags`; when
+    omitted the documented ``SHARQFEC_PURE_FEC`` environment fallback
+    applies.
+    """
+    if flags is None:
+        from repro.core.config import FeatureFlags
+
+        flags = FeatureFlags()
+    if HAVE_NUMPY and not flags.pure_fec_forced():
         return NumpyErasureCodec(k)
     return ErasureCodec(k)
 

@@ -31,22 +31,23 @@ differential suite pins.
 
 from __future__ import annotations
 
-import os
 from typing import Dict, Iterable, Optional
 
+from repro.core.config import FeatureFlags
 from repro.core.protocol import SharqfecProtocol, _remote_member_handler
 from repro.errors import ConfigError
 from repro.hybrid.flow import FlowDataEngine
 from repro.hybrid.seed import seed_converged_state
 
 
-def hybrid_enabled() -> bool:
-    """True unless ``SHARQFEC_HYBRID`` is ``off``/``0``/``false``."""
-    return os.environ.get("SHARQFEC_HYBRID", "on").strip().lower() not in (
-        "off",
-        "0",
-        "false",
-    )
+def hybrid_enabled(flags: Optional[FeatureFlags] = None) -> bool:
+    """Resolve the hybrid toggle.
+
+    ``flags`` (e.g. ``config.flags``) wins when it pins the feature; the
+    ``SHARQFEC_HYBRID`` environment variable (default ``on``; off on
+    ``off``/``0``/``false``) is the documented fallback.
+    """
+    return (flags if flags is not None else FeatureFlags()).hybrid_enabled()
 
 
 class HybridSharqfecProtocol(SharqfecProtocol):
@@ -72,7 +73,7 @@ class HybridSharqfecProtocol(SharqfecProtocol):
             local_nodes,
         )
         self._static_zcrs = dict(static_zcrs) if static_zcrs else None
-        self._active = hybrid_enabled()
+        self._active = hybrid_enabled(config.flags)
         self._seeded = False
         self._awake = False
         self.flow: Optional[FlowDataEngine] = None

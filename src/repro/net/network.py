@@ -15,9 +15,22 @@ duration of the delay (as with a real IGP), then traffic reroutes around
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids an import cycle)
+    from repro.core.config import FeatureFlags
 
 from repro.errors import RoutingError, ScopeError, TopologyError
 from repro.net.link import Link
@@ -39,8 +52,16 @@ class Network:
         self,
         sim: Simulator,
         reconvergence_delay: Optional[float] = DEFAULT_RECONVERGENCE_DELAY,
+        flags: Optional["FeatureFlags"] = None,
     ) -> None:
+        # Imported here: repro.core pulls in the protocol stack (which
+        # imports this module) at package-init time.
+        from repro.core.config import FeatureFlags
+
         self.sim = sim
+        #: Resolved feature toggles (explicit object wins; otherwise the
+        #: documented SHARQFEC_* environment fallbacks).
+        self.flags = flags if flags is not None else FeatureFlags()
         self.nodes: Dict[int, Node] = {}
         self._links: Dict[Tuple[int, int], Link] = {}
         self._adjacency: Dict[int, Dict[int, float]] = {}
@@ -66,9 +87,7 @@ class Network:
         #: delivery schedules; False falls back to the reference per-packet
         #: children-dict walk.  Both paths are replay-identical — the flag
         #: exists so the equivalence tests can prove it.
-        self.compiled_forwarding = (
-            os.environ.get("SHARQFEC_COMPILED_FORWARDING", "1") != "0"
-        )
+        self.compiled_forwarding = self.flags.compiled_forwarding_enabled()
         # Memoized tracer interest flags, refreshed when the tracer's
         # subscription table version changes (see _refresh_trace_flags).
         self._trace_version = -1

@@ -14,9 +14,9 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ScopeError
-from repro.net.network import Network
 from repro.net.packet import Packet
 from repro.scoping.zone import Zone, ZoneHierarchy
+from repro.transport.api import Transport, deprecated_alias
 
 
 class ZoneChannels:
@@ -33,20 +33,25 @@ class ZoneChannels:
 class ScopedChannels:
     """Channel plan: one global data channel + repair/session channels per zone."""
 
-    def __init__(self, network: Network, hierarchy: ZoneHierarchy) -> None:
-        self.network = network
+    def __init__(self, transport: Transport, hierarchy: ZoneHierarchy) -> None:
+        self.transport = transport
         self.hierarchy = hierarchy
         root = hierarchy.root
-        self.data_group_id = network.create_group(
+        # Group-id agreement across independent processes rests on this
+        # create_group call order being a pure function of the hierarchy.
+        self.data_group_id = transport.create_group(
             f"{root.name}.data", scope=set(root.nodes)
         ).group_id
         self._zone_channels: Dict[int, ZoneChannels] = {}
         for zone in hierarchy.zones():
-            repair = network.create_group(f"{zone.name}.repair", scope=set(zone.nodes))
-            session = network.create_group(f"{zone.name}.session", scope=set(zone.nodes))
+            repair = transport.create_group(f"{zone.name}.repair", scope=set(zone.nodes))
+            session = transport.create_group(f"{zone.name}.session", scope=set(zone.nodes))
             self._zone_channels[zone.zone_id] = ZoneChannels(
                 zone.zone_id, repair.group_id, session.group_id
             )
+
+    # Name from before the Clock/Transport split (PR 9); reads warn.
+    network = deprecated_alias("network", "transport")
 
     # ------------------------------------------------------------------ lookup
 
@@ -91,11 +96,11 @@ class ScopedChannels:
         Returns the membership chain (smallest zone first).
         """
         chain = self.hierarchy.chain_for(node_id)
-        self.network.subscribe(self.data_group_id, node_id, data_handler)
+        self.transport.subscribe(self.data_group_id, node_id, data_handler)
         for zone in chain:
             zc = self._zone_channels[zone.zone_id]
-            self.network.subscribe(zc.repair_group_id, node_id, repair_handler)
-            self.network.subscribe(zc.session_group_id, node_id, session_handler)
+            self.transport.subscribe(zc.repair_group_id, node_id, repair_handler)
+            self.transport.subscribe(zc.session_group_id, node_id, session_handler)
         return chain
 
     def leave_member(
@@ -107,8 +112,8 @@ class ScopedChannels:
     ) -> None:
         """Undo :meth:`join_member`."""
         chain = self.hierarchy.chain_for(node_id)
-        self.network.unsubscribe(self.data_group_id, node_id, data_handler)
+        self.transport.unsubscribe(self.data_group_id, node_id, data_handler)
         for zone in chain:
             zc = self._zone_channels[zone.zone_id]
-            self.network.unsubscribe(zc.repair_group_id, node_id, repair_handler)
-            self.network.unsubscribe(zc.session_group_id, node_id, session_handler)
+            self.transport.unsubscribe(zc.repair_group_id, node_id, repair_handler)
+            self.transport.unsubscribe(zc.session_group_id, node_id, session_handler)

@@ -7,10 +7,12 @@ event-cancellation dance into start/restart/cancel semantics.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.sim.events import Event
-from repro.sim.scheduler import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (avoids an import cycle)
+    from repro.transport.api import Clock
 
 
 class TimerError(RuntimeError):
@@ -18,17 +20,17 @@ class TimerError(RuntimeError):
 
 
 class Timer:
-    """A one-shot timer bound to a simulator and a callback.
+    """A one-shot timer bound to a :class:`Clock` and a callback.
 
     The callback receives no arguments; bind context with a closure or
     ``functools.partial``.  ``restart`` cancels any pending expiry first, so
     it is always safe to call.
     """
 
-    __slots__ = ("_sim", "_callback", "_event", "name")
+    __slots__ = ("_clock", "_callback", "_event", "name")
 
-    def __init__(self, sim: Simulator, callback: Callable[[], Any], name: str = "") -> None:
-        self._sim = sim
+    def __init__(self, clock: "Clock", callback: Callable[[], Any], name: str = "") -> None:
+        self._clock = clock
         self._callback = callback
         self._event: Optional[Event] = None
         self.name = name
@@ -53,9 +55,9 @@ class Timer:
         if event is not None and not event.cancelled:
             if not event.fired:
                 raise TimerError(f"timer {self.name!r} already running")
-            self._sim.rearm(event, delay)
+            self._clock.rearm(event, delay)
         else:
-            self._event = self._sim.schedule(delay, self._fire)
+            self._event = self._clock.schedule(delay, self._fire)
 
     def restart(self, delay: float) -> None:
         """(Re-)arm ``delay`` seconds from now, cancelling any pending expiry.
@@ -68,11 +70,11 @@ class Timer:
         """
         event = self._event
         if event is None or event.cancelled:
-            self._event = self._sim.schedule(delay, self._fire)
+            self._event = self._clock.schedule(delay, self._fire)
         elif event.fired:
-            self._sim.rearm(event, delay)
+            self._clock.rearm(event, delay)
         else:
-            self._sim.reschedule(event, delay)
+            self._clock.reschedule(event, delay)
 
     def extend_to(self, time: float) -> None:
         """Ensure the timer fires no earlier than absolute ``time``.
@@ -82,21 +84,21 @@ class Timer:
         """
         event = self._event
         if event is None or event.cancelled:
-            self._event = self._sim.at(time, self._fire)
+            self._event = self._clock.at(time, self._fire)
         elif event.fired:
-            self._sim.rearm_at(event, time)
+            self._clock.rearm_at(event, time)
         elif event.time < time:
-            self._sim.reschedule_at(event, time)
+            self._clock.reschedule_at(event, time)
 
     def cancel(self) -> None:
         """Disarm the timer if pending (idempotent)."""
         if self._event is not None:
-            self._sim.cancel(self._event)
+            self._clock.cancel(self._event)
             self._event = None
 
     def _fire(self) -> None:
         # The fired event object is retained so restart()/start() can
-        # recycle it via Simulator.rearm instead of allocating a new one.
+        # recycle it via Clock.rearm instead of allocating a new one.
         self._callback()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -20,10 +20,9 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.core.rtt import RttTable
-from repro.net.network import Network
 from repro.net.packet import Packet
-from repro.sim.scheduler import Simulator
 from repro.sim.timers import Timer
+from repro.transport.api import Clock, Transport, deprecated_alias
 from repro.srm.config import SrmConfig
 from repro.srm.pdus import (
     SrmDataPdu,
@@ -57,8 +56,8 @@ class SrmAgent:
     def __init__(
         self,
         node_id: int,
-        sim: Simulator,
-        network: Network,
+        clock: Clock,
+        transport: Transport,
         data_group: int,
         session_group: int,
         config: SrmConfig,
@@ -66,8 +65,8 @@ class SrmAgent:
         is_source: bool = False,
     ) -> None:
         self.node_id = node_id
-        self.sim = sim
-        self.network = network
+        self.clock = clock
+        self.transport = transport
         self.data_group = data_group
         self.session_group = session_group
         self.config = config
@@ -81,14 +80,18 @@ class SrmAgent:
         self.losses: Dict[int, _LossState] = {}
         self._repair_timers: Dict[int, Timer] = {}
         self._repairs_sent_for: Set[int] = set()
-        self._session_timer = Timer(sim, self._on_session_timer, name=f"srmsess@{node_id}")
+        self._session_timer = Timer(clock, self._on_session_timer, name=f"srmsess@{node_id}")
         self._sessions_sent = 0
-        self._rng = sim.rng.stream(f"srm.{node_id}")
+        self._rng = clock.rng.stream(f"srm.{node_id}")
         self.nacks_sent = 0
         self.repairs_sent = 0
         self.data_received = 0
         self._joined = False
         self._stopped = False
+
+    # Names from before the Clock/Transport split (PR 9); reads warn.
+    sim = deprecated_alias("sim", "clock")
+    network = deprecated_alias("network", "transport")
 
     # -------------------------------------------------------------- lifecycle
 
@@ -96,8 +99,8 @@ class SrmAgent:
         """Subscribe to the data/repair group and the session group."""
         if self._joined:
             return
-        self.network.subscribe(self.data_group, self.node_id, self._on_data_group)
-        self.network.subscribe(self.session_group, self.node_id, self._on_session_group)
+        self.transport.subscribe(self.data_group, self.node_id, self._on_data_group)
+        self.transport.subscribe(self.session_group, self.node_id, self._on_session_group)
         self._joined = True
 
     def start_session(self) -> None:
@@ -109,7 +112,7 @@ class SrmAgent:
         """Source only: schedule the CBR data emission."""
         ipt = self.config.inter_packet_interval
         for seq in range(self.config.n_packets):
-            self.sim.at(t_start + seq * ipt, self._emit, seq)
+            self.clock.at(t_start + seq * ipt, self._emit, seq)
 
     def stop(self) -> None:
         """Silence the agent: cancel every timer and ignore all input."""
@@ -144,8 +147,8 @@ class SrmAgent:
         """Depart the session: silence the agent and unsubscribe its groups."""
         self.stop()
         if self._joined:
-            self.network.unsubscribe(self.data_group, self.node_id, self._on_data_group)
-            self.network.unsubscribe(self.session_group, self.node_id, self._on_session_group)
+            self.transport.unsubscribe(self.data_group, self.node_id, self._on_data_group)
+            self.transport.unsubscribe(self.session_group, self.node_id, self._on_session_group)
             self._joined = False
 
     # ------------------------------------------------------------------ source
@@ -155,7 +158,7 @@ class SrmAgent:
         if seq > self.highest_seen:
             self.highest_seen = seq
         pdu = SrmDataPdu(self.node_id, self.data_group, self.config.packet_size, seq)
-        self.network.multicast(self.node_id, pdu)
+        self.transport.multicast(self.node_id, pdu)
 
     # ---------------------------------------------------------------- dispatch
 
@@ -191,7 +194,7 @@ class SrmAgent:
         if loss is not None:
             loss.timer.cancel()
             duplicates = max(0, loss.requests_seen + loss.own_requests - 1)
-            elapsed = self.sim.now - loss.detected_at
+            elapsed = self.clock.now - loss.detected_at
             d = self._source_distance()
             self.request_timer_state.record_event(duplicates, elapsed / max(2 * d, 1e-6))
 
@@ -226,8 +229,8 @@ class SrmAgent:
         self.highest_seen = seq
 
     def _new_loss(self, seq: int) -> None:
-        timer = Timer(self.sim, lambda s=seq: self._on_request_timer(s), name=f"srmreq@{self.node_id}/{seq}")
-        loss = _LossState(seq, timer, self.sim.now)
+        timer = Timer(self.clock, lambda s=seq: self._on_request_timer(s), name=f"srmreq@{self.node_id}/{seq}")
+        loss = _LossState(seq, timer, self.clock.now)
         self.losses[seq] = loss
         timer.restart(self._request_delay(loss))
 
@@ -250,10 +253,10 @@ class SrmAgent:
         self.nacks_sent += 1
         loss.own_requests += 1
         loss.backoff = min(loss.backoff + 1, self.config.max_backoff_exponent)
-        tracer = self.sim.tracer
+        tracer = self.clock.tracer
         if tracer.wants("srm.nack"):
-            tracer.emit(self.sim.now, "srm.nack", self.node_id, {"seq": seq})
-        self.network.multicast(self.node_id, pdu)
+            tracer.emit(self.clock.now, "srm.nack", self.node_id, {"seq": seq})
+        self.transport.multicast(self.node_id, pdu)
         loss.timer.restart(self._request_delay(loss))
 
     def _handle_request(self, pdu: SrmRequestPdu) -> None:
@@ -276,7 +279,7 @@ class SrmAgent:
         if timer is not None and timer.running:
             return
         if timer is None:
-            timer = Timer(self.sim, lambda s=seq: self._on_repair_timer(s), name=f"srmrep@{self.node_id}/{seq}")
+            timer = Timer(self.clock, lambda s=seq: self._on_repair_timer(s), name=f"srmrep@{self.node_id}/{seq}")
             self._repair_timers[seq] = timer
         distance = self.rtt.one_way(pdu.src)
         if distance is None:
@@ -292,10 +295,10 @@ class SrmAgent:
         pdu = SrmRepairPdu(self.node_id, self.data_group, self.config.packet_size, seq)
         self.repairs_sent += 1
         self._repairs_sent_for.add(seq)
-        tracer = self.sim.tracer
+        tracer = self.clock.tracer
         if tracer.wants("srm.repair"):
-            tracer.emit(self.sim.now, "srm.repair", self.node_id, {"seq": seq})
-        self.network.multicast(self.node_id, pdu)
+            tracer.emit(self.clock.now, "srm.repair", self.node_id, {"seq": seq})
+        self.transport.multicast(self.node_id, pdu)
 
     def _handle_repair(self, seq: int) -> None:
         timer = self._repair_timers.get(seq)
@@ -318,7 +321,7 @@ class SrmAgent:
         return self._rng.uniform(lo, hi)
 
     def _on_session_timer(self) -> None:
-        now = self.sim.now
+        now = self.clock.now
         heard = self.rtt.heard_in_zone(_SESSION_ZONE)
         entries = tuple(
             SrmSessionEntry(peer, ts, now - recv_at)
@@ -333,12 +336,12 @@ class SrmAgent:
             highest_seq=self.highest_seen,
             entries=entries,
         )
-        self.network.multicast(self.node_id, pdu)
+        self.transport.multicast(self.node_id, pdu)
         self._sessions_sent += 1
         self._session_timer.restart(self._session_interval())
 
     def _handle_session(self, pdu: SrmSessionPdu) -> None:
-        now = self.sim.now
+        now = self.clock.now
         self.rtt.record_heard(_SESSION_ZONE, pdu.src, pdu.timestamp, now)
         for entry in pdu.entries:
             if entry.peer_id == self.node_id:

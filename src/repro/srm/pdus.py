@@ -16,8 +16,7 @@ class SrmDataPdu(Packet):
         super().__init__("DATA", src, group, size_bytes)
         self.seq = seq
 
-    def describe(self) -> str:
-        return f"DATA(seq={self.seq})"
+    _DESCRIBE_FIELDS = ("seq",)
 
 
 class SrmRequestPdu(Packet):
@@ -29,8 +28,7 @@ class SrmRequestPdu(Packet):
         super().__init__("NACK", src, group, size_bytes, loss_exempt=True)
         self.seq = seq
 
-    def describe(self) -> str:
-        return f"NACK(seq={self.seq})"
+    _DESCRIBE_FIELDS = ("seq",)
 
 
 class SrmRepairPdu(Packet):
@@ -42,8 +40,7 @@ class SrmRepairPdu(Packet):
         super().__init__("REPAIR", src, group, size_bytes)
         self.seq = seq
 
-    def describe(self) -> str:
-        return f"REPAIR(seq={self.seq})"
+    _DESCRIBE_FIELDS = ("seq",)
 
 
 class SrmSessionEntry(NamedTuple):
@@ -77,5 +74,4 @@ class SrmSessionPdu(Packet):
         self.highest_seq = highest_seq
         self.entries = entries
 
-    def describe(self) -> str:
-        return f"SESSION(high={self.highest_seq}, |entries|={len(self.entries)})"
+    _DESCRIBE_FIELDS = ("timestamp", "highest_seq", "entries")

@@ -1,0 +1,68 @@
+"""Real-transport mode: the SHARQFEC state machines over asyncio UDP.
+
+* :mod:`repro.transport.api` — the :class:`Clock` and :class:`Transport`
+  interfaces the protocol agents program against (the simulator and the
+  simulated network are the reference implementations).
+* :mod:`repro.transport.wire` — versioned binary codec for every SHARQFEC
+  and SRM PDU.
+* :mod:`repro.transport.clock` — :class:`AsyncioClock`, the wall-clock
+  :class:`Clock` adapter over an ``asyncio`` event loop.
+* :mod:`repro.transport.udp` — :class:`UdpTransport` (endpoint side) and
+  :class:`UdpRelay` (fan-out hub with Gilbert–Elliott loss injection).
+* :mod:`repro.transport.runtime` — per-process node harness used by
+  ``scripts/loopback_demo.py`` and the docker-compose environment.
+
+Submodules import lazily so ``repro.transport.api`` (pulled in by the
+core agents for type annotations) never drags ``asyncio`` plumbing into a
+simulation run.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "Clock": "repro.transport.api",
+    "Transport": "repro.transport.api",
+    "TimerHandle": "repro.transport.api",
+    "GroupRef": "repro.transport.api",
+    "WireError": "repro.transport.wire",
+    "WireHeader": "repro.transport.wire",
+    "WIRE_VERSION": "repro.transport.wire",
+    "encode": "repro.transport.wire",
+    "decode": "repro.transport.wire",
+    "peek_header": "repro.transport.wire",
+    "AsyncioClock": "repro.transport.clock",
+    "WallTimerHandle": "repro.transport.clock",
+    "UdpTransport": "repro.transport.udp",
+    "UdpRelay": "repro.transport.udp",
+    "NodeRuntime": "repro.transport.runtime",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.transport.api import Clock, GroupRef, TimerHandle, Transport
+    from repro.transport.clock import AsyncioClock, WallTimerHandle
+    from repro.transport.runtime import NodeRuntime
+    from repro.transport.udp import UdpRelay, UdpTransport
+    from repro.transport.wire import (
+        WIRE_VERSION,
+        WireError,
+        WireHeader,
+        decode,
+        encode,
+        peek_header,
+    )
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(importlib.import_module(module), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,104 @@
+"""FeatureFlags: explicit fields pin features; env vars remain the fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FeatureFlags, SharqfecConfig
+from repro.fec.codec import ErasureCodec
+from repro.fec.fast import HAVE_NUMPY, NumpyErasureCodec, default_codec
+from repro.hybrid.protocol import hybrid_enabled
+from repro.net.network import Network
+from repro.sim.scheduler import Simulator
+
+
+def _clear_env(monkeypatch):
+    for var in (
+        "SHARQFEC_COMPILED_FORWARDING",
+        "SHARQFEC_PURE_FEC",
+        "SHARQFEC_HYBRID",
+    ):
+        monkeypatch.delenv(var, raising=False)
+
+
+def test_defaults_with_clean_environment(monkeypatch):
+    _clear_env(monkeypatch)
+    flags = FeatureFlags()
+    assert flags.compiled_forwarding_enabled() is True
+    assert flags.pure_fec_forced() is False
+    assert flags.hybrid_enabled() is True
+
+
+@pytest.mark.parametrize(
+    "var,value,method,expected",
+    [
+        ("SHARQFEC_COMPILED_FORWARDING", "0", "compiled_forwarding_enabled", False),
+        ("SHARQFEC_COMPILED_FORWARDING", "1", "compiled_forwarding_enabled", True),
+        ("SHARQFEC_PURE_FEC", "1", "pure_fec_forced", True),
+        ("SHARQFEC_PURE_FEC", "0", "pure_fec_forced", False),
+        ("SHARQFEC_HYBRID", "off", "hybrid_enabled", False),
+        ("SHARQFEC_HYBRID", "0", "hybrid_enabled", False),
+        ("SHARQFEC_HYBRID", "False", "hybrid_enabled", False),
+        ("SHARQFEC_HYBRID", "on", "hybrid_enabled", True),
+    ],
+)
+def test_environment_fallback(monkeypatch, var, value, method, expected):
+    _clear_env(monkeypatch)
+    monkeypatch.setenv(var, value)
+    assert getattr(FeatureFlags(), method)() is expected
+
+
+def test_explicit_field_beats_environment(monkeypatch):
+    monkeypatch.setenv("SHARQFEC_COMPILED_FORWARDING", "1")
+    monkeypatch.setenv("SHARQFEC_PURE_FEC", "0")
+    monkeypatch.setenv("SHARQFEC_HYBRID", "on")
+    flags = FeatureFlags(compiled_forwarding=False, pure_fec=True, hybrid=False)
+    assert flags.compiled_forwarding_enabled() is False
+    assert flags.pure_fec_forced() is True
+    assert flags.hybrid_enabled() is False
+
+    monkeypatch.setenv("SHARQFEC_COMPILED_FORWARDING", "0")
+    monkeypatch.setenv("SHARQFEC_PURE_FEC", "1")
+    monkeypatch.setenv("SHARQFEC_HYBRID", "off")
+    flags = FeatureFlags(compiled_forwarding=True, pure_fec=False, hybrid=True)
+    assert flags.compiled_forwarding_enabled() is True
+    assert flags.pure_fec_forced() is False
+    assert flags.hybrid_enabled() is True
+
+
+def test_network_threads_flags(monkeypatch):
+    monkeypatch.setenv("SHARQFEC_COMPILED_FORWARDING", "1")
+    net = Network(Simulator(seed=1), flags=FeatureFlags(compiled_forwarding=False))
+    assert net.compiled_forwarding is False
+    assert net.flags.compiled_forwarding is False
+
+    monkeypatch.setenv("SHARQFEC_COMPILED_FORWARDING", "0")
+    assert Network(Simulator(seed=1)).compiled_forwarding is False
+    monkeypatch.delenv("SHARQFEC_COMPILED_FORWARDING")
+    assert Network(Simulator(seed=1)).compiled_forwarding is True
+
+
+def test_default_codec_threads_flags(monkeypatch):
+    monkeypatch.delenv("SHARQFEC_PURE_FEC", raising=False)
+    assert type(default_codec(4, flags=FeatureFlags(pure_fec=True))) is ErasureCodec
+    if HAVE_NUMPY:
+        monkeypatch.setenv("SHARQFEC_PURE_FEC", "1")
+        fast = default_codec(4, flags=FeatureFlags(pure_fec=False))
+        assert type(fast) is NumpyErasureCodec
+
+
+def test_hybrid_enabled_threads_flags(monkeypatch):
+    monkeypatch.setenv("SHARQFEC_HYBRID", "on")
+    assert hybrid_enabled(FeatureFlags(hybrid=False)) is False
+    monkeypatch.setenv("SHARQFEC_HYBRID", "off")
+    assert hybrid_enabled(FeatureFlags(hybrid=True)) is True
+    assert hybrid_enabled() is False  # None -> env fallback
+
+
+def test_sharqfec_config_carries_flags():
+    cfg = SharqfecConfig()
+    assert cfg.flags == FeatureFlags()
+    pinned = SharqfecConfig(flags=FeatureFlags(hybrid=False))
+    assert pinned.flags.hybrid_enabled() is False
+    # Ablation-variant copies inherit the pinned toggles.
+    assert pinned.ecsrm().flags.hybrid_enabled() is False

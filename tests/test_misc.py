@@ -58,17 +58,21 @@ def test_unicast_packet_describe():
 
 def test_pdu_descriptions_mention_key_fields():
     assert "seq=7" in DataPdu(0, 1, 1000, 7, 0, 7).describe()
-    assert "g=3" in FecPdu(0, 1, 1000, 3, 17, 17, 9).describe()
+    assert "group_id=3" in FecPdu(0, 1, 1000, 3, 17, 17, 9).describe()
     nack = NackPdu(0, 1, 64, 3, 2, 15, 2, 9)
-    assert "need=2" in nack.describe()
+    assert "n_needed=2" in nack.describe()
     assert nack.loss_exempt
     session = SessionPdu(0, 1, 64, 9, 0.0, 4, 0.1, (), zcr_epoch=2)
-    assert "entries" in session.describe()
+    assert "|entries|=0" in session.describe()
     assert session.loss_exempt
-    assert "zone=9" in ZcrChallengePdu(0, 1, 48, 9, 0.0).describe()
-    assert "zone=9" in ZcrResponsePdu(0, 1, 48, 9, 2, 0.0).describe()
+    assert "zone_id=9" in ZcrChallengePdu(0, 1, 48, 9, 0.0).describe()
+    assert "zone_id=9" in ZcrResponsePdu(0, 1, 48, 9, 2, 0.0).describe()
     take = ZcrTakeoverPdu(0, 1, 48, 9, 0.025, epoch=3)
-    assert "e=3" in take.describe()
+    assert "epoch=3" in take.describe()
+    # Every PDU renders through the one shared field formatter, so a
+    # simulation trace and a real-UDP trace of the same exchange diff clean.
+    assert DataPdu(0, 1, 1000, 7, 0, 7).describe() == "DATA(seq=7, group_id=0, index=7, payload=-)"
+    assert take.describe() == "ZCR_TAKE(zone_id=9, dist_to_parent=0.0250, epoch=3)"
 
 
 def test_rtt_chain_entry_fields():

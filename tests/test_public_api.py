@@ -1,0 +1,100 @@
+"""The curated top-level surface: lazy exports, `__all__`, deprecation shims."""
+
+from __future__ import annotations
+
+import importlib
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+import repro
+
+
+def test_all_is_sorted_and_complete():
+    assert repro.__all__[0] == "__version__"
+    names = repro.__all__[1:]
+    assert names == sorted(names)
+    assert set(names) == set(repro._EXPORTS)
+
+
+def test_every_export_resolves_to_its_home_module():
+    for name, module in repro._EXPORTS.items():
+        value = getattr(repro, name)
+        home = importlib.import_module(module)
+        assert value is getattr(home, name), name
+        assert name in dir(repro)
+
+
+def test_import_repro_is_lazy():
+    # A fresh interpreter importing `repro` must not drag in the protocol
+    # stack (that is the whole point of PEP 562 here).
+    code = (
+        "import sys; import repro; "
+        "heavy = [m for m in sys.modules if m.startswith(('repro.core', "
+        "'repro.transport', 'repro.net'))]; "
+        "assert not heavy, heavy"
+    )
+    subprocess.run(
+        [sys.executable, "-c", code], check=True, env={"PYTHONPATH": "src"}
+    )
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError, match="no attribute"):
+        repro.definitely_not_an_export
+
+
+def test_interface_implementations_are_registered():
+    # The seam types and their implementations, via the curated surface.
+    assert isinstance(repro.Simulator(seed=1), repro.Clock)
+    assert isinstance(repro.Network(repro.Simulator(seed=1)), repro.Transport)
+
+
+def test_moved_names_warn_and_forward():
+    """`agent.sim` / `agent.network` / `channels.network` moved in PR 9."""
+    sim = repro.Simulator(seed=1)
+
+    class _Group:
+        def __init__(self, gid):
+            self.group_id = gid
+
+    class _FakeTransport:
+        def __init__(self):
+            self._next = 0
+
+        def create_group(self, name="", scope=None):
+            self._next += 1
+            return _Group(self._next)
+
+        def subscribe(self, group_id, node_id, handler):
+            pass
+
+        def unsubscribe(self, group_id, node_id, handler):
+            pass
+
+        def multicast(self, src, packet):
+            pass
+
+    transport = _FakeTransport()
+    hierarchy = repro.ZoneHierarchy()
+    hierarchy.add_root([0, 1], name="Z0")
+    channels = repro.ScopedChannels(transport, hierarchy)
+
+    from repro.core.receiver import SharqfecReceiver
+
+    agent = SharqfecReceiver(1, sim, transport, channels, repro.SharqfecConfig(), 0)
+    for obj, old, new in [
+        (channels, "network", "transport"),
+        (agent, "sim", "clock"),
+        (agent, "network", "transport"),
+        (agent.session, "sim", "clock"),
+    ]:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert getattr(obj, old) is getattr(obj, new)
+        assert any(
+            issubclass(w.category, DeprecationWarning) and old in str(w.message)
+            for w in caught
+        ), (type(obj).__name__, old)

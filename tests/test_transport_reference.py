@@ -1,0 +1,132 @@
+"""Differential anchor for the Clock/Transport refactor.
+
+The PR-9 refactor lifts the protocol agents behind the narrow
+:class:`repro.transport.Clock` / :class:`repro.transport.Transport`
+interfaces so the same state machines run over real asyncio UDP sockets.
+The refactor's core promise is that **sim-mode behaviour is untouched**:
+a seeded run must reproduce, bit for bit, the run the pre-refactor code
+produced.
+
+``tests/data/reference_run.json`` was generated from the pre-refactor
+tree (commit 5811412) by running this module with
+``SHARQFEC_REGEN_REFERENCE=1``; the tests replay the same scenarios and
+compare describe-independent digests — event counts, completion,
+NACK/repair tallies, a SHA-256 over the protocol-level trace transcript
+(dict details only, no :meth:`Packet.describe` dependence) and a SHA-256
+over the exact binned traffic records.  Any behavioural drift in the
+agents, the forwarding engine, the RNG plumbing or the fault injector
+shows up as a digest mismatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.common import variant_config
+from repro.core.protocol import SharqfecProtocol
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.net.monitor import TrafficMonitor
+from repro.obs.export import traffic_records
+from repro.sim.scheduler import Simulator
+from repro.srm.config import SrmConfig
+from repro.srm.protocol import SrmProtocol
+from repro.testing.invariants import TraceRecorder
+from repro.topology.figure10 import build_figure10
+
+FIXTURE = Path(__file__).parent / "data" / "reference_run.json"
+
+#: Trace categories whose details are dicts/strings (never Packet objects),
+#: so the transcript digest is independent of Packet.describe() formatting.
+PROTOCOL_CATEGORIES = ["sharqfec.", "srm.", "zcr.", "fault."]
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _traffic_sha(monitor: TrafficMonitor) -> str:
+    return _sha(json.dumps(traffic_records(monitor), sort_keys=True))
+
+
+def _sharqfec_digest() -> dict:
+    """Figure 10, 64 packets, Gilbert–Elliott burst loss on a tree edge."""
+    sim = Simulator(seed=2026)
+    topo = build_figure10(sim)
+    monitor = TrafficMonitor(bin_width=0.1)
+    topo.network.add_observer(monitor)
+    plan = (
+        FaultPlan("ref-ge")
+        .gilbert_elliott(6.5, 0, 2, p_gb=0.2, p_bg=0.4, loss_bad=1.0)
+        .clear_loss_model(9.5, 0, 2)
+    )
+    FaultInjector(topo.network, plan).arm()
+    config = variant_config("SHARQFEC", 64)
+    proto = SharqfecProtocol(
+        topo.network, config, topo.source, topo.receivers, topo.hierarchy
+    )
+    with TraceRecorder(sim, categories=PROTOCOL_CATEGORIES) as rec:
+        proto.start(1.0, 6.0)
+        sim.run(until=proto.data_end_time(6.0) + 8.0)
+    proto.stop()
+    repairs = sum(
+        sum(r.repairs_by_zone.values()) for r in proto.receivers.values()
+    )
+    return {
+        "events_fired": sim.events_fired,
+        "final_now": repr(sim.now),
+        "completion": proto.completion_fraction(),
+        "nacks": proto.total_nacks_sent(),
+        "receiver_repairs": repairs,
+        "trace_sha": _sha(rec.render()),
+        "traffic_sha": _traffic_sha(monitor),
+    }
+
+
+def _srm_digest() -> dict:
+    """SRM baseline on Figure 10 with plain Bernoulli loss (topology rates)."""
+    sim = Simulator(seed=7)
+    topo = build_figure10(sim)
+    monitor = TrafficMonitor(bin_width=0.1)
+    topo.network.add_observer(monitor)
+    config = SrmConfig(n_packets=32)
+    proto = SrmProtocol(topo.network, config, topo.source, topo.receivers)
+    with TraceRecorder(sim, categories=PROTOCOL_CATEGORIES) as rec:
+        proto.start(1.0, 6.0)
+        sim.run(until=6.0 + 32 * config.inter_packet_interval + 8.0)
+    proto.stop()
+    return {
+        "events_fired": sim.events_fired,
+        "final_now": repr(sim.now),
+        "completion": proto.completion_fraction(),
+        "nacks": proto.total_nacks_sent(),
+        "trace_sha": _sha(rec.render()),
+        "traffic_sha": _traffic_sha(monitor),
+    }
+
+
+def _current_digests() -> dict:
+    return {"sharqfec": _sharqfec_digest(), "srm": _srm_digest()}
+
+
+def test_reference_fixture_exists():
+    assert FIXTURE.exists(), (
+        "missing pre-refactor reference fixture; regenerate with "
+        "SHARQFEC_REGEN_REFERENCE=1 python -m pytest tests/test_transport_reference.py"
+    )
+
+
+def test_sim_mode_matches_pre_refactor_reference():
+    if os.environ.get("SHARQFEC_REGEN_REFERENCE") == "1":
+        FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+        FIXTURE.write_text(json.dumps(_current_digests(), indent=2, sort_keys=True) + "\n")
+    reference = json.loads(FIXTURE.read_text())
+    current = _current_digests()
+    assert current == reference, (
+        "sim-mode run diverged from the pre-refactor reference:\n"
+        f"  reference: {json.dumps(reference, sort_keys=True)}\n"
+        f"  current:   {json.dumps(current, sort_keys=True)}"
+    )
