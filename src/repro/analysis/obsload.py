@@ -86,7 +86,17 @@ def load_metrics(path: str) -> MetricsExport:
     """Parse a metrics JSONL file into a rebuilt monitor plus registry data."""
     records = list(read_jsonl(path))
     manifest = _check_manifest(path, records)
-    bin_width = float(manifest.get("bin_width") or 0.1)
+    raw_width = manifest.get("bin_width")
+    try:
+        bin_width = float(raw_width)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ObsLoadError(
+            f"{path}: manifest bin_width missing or non-numeric "
+            f"({raw_width!r}); refusing to guess — a wrong width silently "
+            f"rescales every reloaded series"
+        ) from None
+    if bin_width <= 0:
+        raise ObsLoadError(f"{path}: manifest bin_width must be > 0, got {raw_width!r}")
     monitor = TrafficMonitor(bin_width=bin_width)
     export = MetricsExport(
         path=path, manifest=manifest, run_summary=None, monitor=monitor

@@ -1,0 +1,61 @@
+"""Declarative campaign runner + statistical evaluation (ROADMAP item 3).
+
+The pieces, in pipeline order:
+
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec` / :func:`load_spec`:
+  the declarative scenario × protocol × seed grid, validated up front.
+* :mod:`repro.campaign.runner` — :func:`run_campaign`: parallel,
+  resumable execution into a self-contained campaign directory.
+* :mod:`repro.campaign.report` — :func:`analyze_campaign`: warmup cutoff,
+  per-cell mean series with confidence intervals, cross-protocol shape
+  comparisons, JSON + markdown emission.
+* :mod:`repro.campaign.stats` — the small-n interval machinery.
+
+See ``docs/CAMPAIGNS.md`` for the worked example.
+"""
+
+from repro.campaign.report import analyze_campaign, render_markdown, write_report
+from repro.campaign.runner import (
+    CampaignRunReport,
+    CellOutcome,
+    cell_paths,
+    load_index,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    CampaignSpec,
+    RunCell,
+    ScenarioSpec,
+    build_fault_plan,
+    load_spec,
+    spec_from_dict,
+)
+from repro.campaign.stats import (
+    Interval,
+    bootstrap_interval,
+    series_intervals,
+    shape_distance,
+    t_interval,
+)
+
+__all__ = [
+    "CampaignRunReport",
+    "CampaignSpec",
+    "CellOutcome",
+    "Interval",
+    "RunCell",
+    "ScenarioSpec",
+    "analyze_campaign",
+    "bootstrap_interval",
+    "build_fault_plan",
+    "cell_paths",
+    "load_index",
+    "load_spec",
+    "render_markdown",
+    "run_campaign",
+    "series_intervals",
+    "shape_distance",
+    "spec_from_dict",
+    "t_interval",
+    "write_report",
+]

@@ -1,0 +1,153 @@
+"""``sharqfec campaign`` subcommands.
+
+Usage::
+
+    sharqfec campaign run examples/fig14_campaign.toml [--out DIR]
+        [--workers N] [--packets N] [--seeds 1,2,3] [--fresh]
+    sharqfec campaign report DIR [--warmup S] [--confidence C]
+        [--method t|bootstrap]
+
+``run`` is resumable: re-invoking it against the same ``--out`` directory
+skips every cell whose export already exists, so an interrupted campaign
+picks up where it stopped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from repro.errors import CampaignError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sharqfec campaign",
+        description="Run and evaluate declarative multi-seed campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute a campaign spec's run grid")
+    run.add_argument("spec", help="path to a .toml or .json campaign spec")
+    run.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="campaign directory (default: campaigns/<spec name>)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: CPU count; 1 runs inline)",
+    )
+    run.add_argument(
+        "--packets",
+        type=int,
+        default=None,
+        help="override the spec's packets per run (smoke-sized campaigns)",
+    )
+    run.add_argument(
+        "--seeds",
+        default=None,
+        help="override the spec's seed list, comma-separated (e.g. 1,2,3)",
+    )
+    run.add_argument(
+        "--fresh",
+        action="store_true",
+        help="rerun every cell even if its export already exists",
+    )
+
+    report = sub.add_parser(
+        "report", help="compute statistics over a completed campaign"
+    )
+    report.add_argument("dir", help="campaign directory written by 'run'")
+    report.add_argument(
+        "--warmup",
+        type=float,
+        default=None,
+        help="seconds cut from the front of every series (default: spec value)",
+    )
+    report.add_argument(
+        "--confidence",
+        type=float,
+        default=None,
+        help="CI level, e.g. 0.95 (default: spec value)",
+    )
+    report.add_argument(
+        "--method",
+        choices=("t", "bootstrap"),
+        default=None,
+        help="interval method (default: spec value)",
+    )
+    return parser
+
+
+def _run(args) -> int:
+    from repro.campaign.runner import run_campaign
+    from repro.campaign.spec import load_spec
+
+    spec = load_spec(args.spec)
+    overrides = {}
+    if args.packets is not None:
+        overrides["packets"] = args.packets
+    if args.seeds is not None:
+        try:
+            overrides["seeds"] = tuple(
+                int(s) for s in args.seeds.split(",") if s.strip()
+            )
+        except ValueError:
+            raise CampaignError(f"--seeds must be comma-separated ints, got "
+                                f"{args.seeds!r}") from None
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides).validate()
+    out_dir = args.out if args.out is not None else f"campaigns/{spec.name}"
+    report = run_campaign(
+        spec,
+        out_dir,
+        workers=args.workers,
+        resume=not args.fresh,
+        log=lambda line: print(line, file=sys.stderr),
+    )
+    print(report.summary())
+    if report.failed:
+        for outcome in report.failed:
+            print(
+                f"  failed: {outcome.scenario}/{outcome.slug}: {outcome.error}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+def _report(args) -> int:
+    from repro.campaign.report import analyze_campaign, render_markdown, write_report
+
+    report = analyze_campaign(
+        args.dir,
+        warmup=args.warmup,
+        confidence=args.confidence,
+        ci_method=args.method,
+    )
+    json_path, md_path = write_report(args.dir, report)
+    print(render_markdown(report))
+    print(f"wrote {json_path}")
+    print(f"wrote {md_path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _run(args)
+        return _report(args)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via `sharqfec campaign`
+    sys.exit(main())

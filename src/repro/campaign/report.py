@@ -1,0 +1,278 @@
+"""Statistical evaluation of a completed campaign directory.
+
+Loads every cell's metrics JSONL back through
+:mod:`repro.analysis.obsload` (so single-seed series are bit-for-bit the
+in-process originals), cuts a warmup prefix, aggregates the per-seed
+series per (scenario, protocol) cell into per-bin mean curves with
+confidence intervals, and compares protocol shapes within each scenario.
+Emits ``report.json`` + ``report.md`` into the campaign directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.obsload import MetricsExport, load_metrics
+from repro.analysis.timeseries import repair_tail_length, series_stats
+from repro.errors import CampaignError
+from repro.experiments.common import DATA_REPAIR_KINDS
+from repro.campaign.runner import INDEX_NAME, load_index
+from repro.campaign.spec import spec_from_dict
+from repro.campaign.stats import Interval, series_intervals, shape_distance, t_interval
+
+REPORT_FORMAT = "sharqfec.campaign.report.v1"
+
+#: The two per-receiver series every traffic figure is built from.
+SERIES_KINDS: Dict[str, Tuple[str, ...]] = {
+    "data_repair": DATA_REPAIR_KINDS,
+    "nack": ("NACK",),
+}
+
+
+def _warmup_bins(warmup: float, bin_width: float) -> int:
+    return int(round(warmup / bin_width)) if warmup > 0 else 0
+
+
+def _stable_seed(*parts: str) -> int:
+    """Process-independent RNG seed (``hash()`` is salted per process)."""
+    blob = "/".join(parts).encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:4], "big")
+
+
+def _cell_series(
+    export: MetricsExport, kinds: Sequence[str], cut: int
+) -> List[float]:
+    summary = export.run_summary or {}
+    receivers = summary.get("receivers")
+    if not receivers:
+        raise CampaignError(
+            f"{export.path}: run summary has no receiver list; "
+            f"re-export with the current harness"
+        )
+    t_end = summary.get("run_end")
+    series = export.monitor.mean_series(
+        list(kinds),
+        [int(r) for r in receivers],
+        t_end=float(t_end) if t_end is not None else None,
+    )
+    return series[cut:]
+
+
+def _interval_dict(interval: Interval) -> Dict[str, float]:
+    return {"mean": interval.mean, "lo": interval.lo, "hi": interval.hi}
+
+
+def analyze_campaign(
+    out_dir: str,
+    warmup: Optional[float] = None,
+    confidence: Optional[float] = None,
+    ci_method: Optional[str] = None,
+) -> Dict[str, object]:
+    """Build the statistical report for a campaign directory.
+
+    ``warmup`` / ``confidence`` / ``ci_method`` default to the values the
+    campaign was specified with.
+    """
+    index = load_index(out_dir)
+    if index is None:
+        raise CampaignError(f"{out_dir}: no {INDEX_NAME}; run the campaign first")
+    spec = spec_from_dict(index["spec"], source=f"{out_dir}/{INDEX_NAME}")
+    warmup = spec.warmup if warmup is None else float(warmup)
+    confidence = spec.confidence if confidence is None else float(confidence)
+    ci_method = spec.ci_method if ci_method is None else str(ci_method)
+    if warmup < 0:
+        raise CampaignError(f"warmup must be >= 0, got {warmup}")
+    runs: Dict[str, Dict[str, object]] = index["runs"]  # type: ignore[assignment]
+
+    # Group completed runs per (scenario, protocol) cell, ordered by seed.
+    groups: Dict[Tuple[str, str], List[Dict[str, object]]] = {}
+    for entry in runs.values():
+        if entry.get("status") != "done" or entry.get("error"):
+            continue
+        key = (str(entry["scenario"]), str(entry["protocol"]))
+        groups.setdefault(key, []).append(entry)
+    if not groups:
+        raise CampaignError(f"{out_dir}: index lists no completed runs")
+    for entries in groups.values():
+        entries.sort(key=lambda e: int(e["seed"]))
+
+    bin_width: Optional[float] = None
+    cells: List[Dict[str, object]] = []
+    mean_series_of: Dict[Tuple[str, str, str], List[float]] = {}
+    for (scenario, protocol) in sorted(groups):
+        entries = groups[(scenario, protocol)]
+        exports: List[MetricsExport] = []
+        for entry in entries:
+            path = os.path.join(out_dir, str(entry["metrics_path"]))
+            export = load_metrics(path)
+            if bin_width is None:
+                bin_width = export.bin_width
+            elif export.bin_width != bin_width:
+                raise CampaignError(
+                    f"{path}: bin_width {export.bin_width} differs from the "
+                    f"campaign's {bin_width}"
+                )
+            exports.append(export)
+        cut = _warmup_bins(warmup, bin_width or 0.1)
+        seeds = [int(e["seed"]) for e in entries]
+        cell: Dict[str, object] = {
+            "scenario": scenario,
+            "protocol": protocol,
+            "seeds": seeds,
+            "n_runs": len(entries),
+            "completion": _interval_dict(
+                t_interval([float(e.get("completion", 0.0)) for e in entries],
+                           confidence)
+            ),
+            "nacks_sent": _interval_dict(
+                t_interval([float(e.get("nacks_sent", 0)) for e in entries],
+                           confidence)
+            ),
+            "series": {},
+        }
+        for label, kinds in SERIES_KINDS.items():
+            per_seed = [_cell_series(export, kinds, cut) for export in exports]
+            intervals = series_intervals(
+                per_seed,
+                confidence,
+                method=ci_method,
+                bootstrap_samples=spec.bootstrap_samples,
+                rng_seed=_stable_seed(spec.name, scenario, protocol, label),
+            )
+            mean = [iv.mean for iv in intervals]
+            mean_series_of[(scenario, protocol, label)] = mean
+            stats = series_stats(mean)
+            totals = [sum(s) for s in per_seed]
+            cell["series"][label] = {  # type: ignore[index]
+                "mean": mean,
+                "lo": [iv.lo for iv in intervals],
+                "hi": [iv.hi for iv in intervals],
+                "per_seed_total": totals,
+                "total": _interval_dict(t_interval(totals, confidence)),
+                "peak": stats.peak,
+                "peak_t": warmup + (stats.peak_index + 0.5) * (bin_width or 0.1),
+            }
+        # The repair tail of the mean curve (§6.2's "significant repair
+        # tail" argument, now with multi-seed backing).
+        summary0 = exports[0].run_summary or {}
+        data_end = summary0.get("data_end")
+        if data_end is not None:
+            from repro.obs.binning import bin_index
+
+            tail_from = max(0, bin_index(float(data_end), bin_width or 0.1) - cut)
+            cell["repair_tail_bins"] = repair_tail_length(
+                mean_series_of[(scenario, protocol, "data_repair")], tail_from
+            )
+        cells.append(cell)
+
+    comparisons: List[Dict[str, object]] = []
+    for scenario in sorted({s for s, _ in groups}):
+        protos = [p for (s, p) in sorted(groups) if s == scenario]
+        for i, a in enumerate(protos):
+            for b in protos[i + 1 :]:
+                entry: Dict[str, object] = {"scenario": scenario, "a": a, "b": b}
+                for label in SERIES_KINDS:
+                    sa = mean_series_of[(scenario, a, label)]
+                    sb = mean_series_of[(scenario, b, label)]
+                    ta, tb = sum(sa), sum(sb)
+                    stats_a, stats_b = series_stats(sa), series_stats(sb)
+                    entry[label] = {
+                        "total_ratio": (tb / ta) if ta > 0 else None,
+                        "peak_ratio": (
+                            stats_b.peak / stats_a.peak if stats_a.peak > 0 else None
+                        ),
+                        "peak_shift_s": (
+                            (stats_b.peak_index - stats_a.peak_index)
+                            * (bin_width or 0.1)
+                        ),
+                        "shape_distance": shape_distance(sa, sb),
+                    }
+                comparisons.append(entry)
+
+    return {
+        "format": REPORT_FORMAT,
+        "campaign": spec.name,
+        "spec_digest": index.get("spec_digest"),
+        "warmup": warmup,
+        "confidence": confidence,
+        "ci_method": ci_method,
+        "bin_width": bin_width,
+        "cells": cells,
+        "comparisons": comparisons,
+    }
+
+
+def render_markdown(report: Dict[str, object]) -> str:
+    """Human-readable summary of an :func:`analyze_campaign` report."""
+    lines = [
+        f"# Campaign report: {report['campaign']}",
+        "",
+        f"- spec digest: `{report['spec_digest']}`",
+        f"- warmup cutoff: {report['warmup']} s · "
+        f"confidence: {report['confidence']:.0%} ({report['ci_method']})",
+        f"- bin width: {report['bin_width']} s",
+        "",
+        "## Cells",
+        "",
+        "| scenario | protocol | seeds | completion | data+repair total | "
+        "nack total | peak (pkts/bin) | tail (bins) |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+
+    def ci(d: Dict[str, float], digits: int = 1) -> str:
+        if d["lo"] == d["hi"]:
+            return f"{d['mean']:.{digits}f}"
+        return f"{d['mean']:.{digits}f} [{d['lo']:.{digits}f}, {d['hi']:.{digits}f}]"
+
+    for cell in report["cells"]:  # type: ignore[union-attr]
+        dr = cell["series"]["data_repair"]
+        nk = cell["series"]["nack"]
+        lines.append(
+            f"| {cell['scenario']} | {cell['protocol']} | {cell['n_runs']} "
+            f"| {ci(cell['completion'], 4)} | {ci(dr['total'])} "
+            f"| {ci(nk['total'])} | {dr['peak']:.1f} @ {dr['peak_t']:.1f}s "
+            f"| {cell.get('repair_tail_bins', '—')} |"
+        )
+    comparisons = report["comparisons"]
+    if comparisons:
+        lines += [
+            "",
+            "## Cross-protocol shape comparisons",
+            "",
+            "| scenario | b vs a | d+r total ratio | d+r peak ratio | "
+            "d+r shape dist | nack total ratio |",
+            "|---|---|---|---|---|---|",
+        ]
+        for comp in comparisons:  # type: ignore[union-attr]
+            dr = comp["data_repair"]
+            nk = comp["nack"]
+
+            def fmt(value: Optional[float]) -> str:
+                return "—" if value is None else f"{value:.3f}"
+
+            lines.append(
+                f"| {comp['scenario']} | {comp['b']} vs {comp['a']} "
+                f"| {fmt(dr['total_ratio'])} | {fmt(dr['peak_ratio'])} "
+                f"| {dr['shape_distance']:.3f} | {fmt(nk['total_ratio'])} |"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    out_dir: str,
+    report: Dict[str, object],
+    basename: str = "report",
+) -> Tuple[str, str]:
+    """Write ``<basename>.json`` + ``<basename>.md``; returns both paths."""
+    json_path = os.path.join(out_dir, f"{basename}.json")
+    md_path = os.path.join(out_dir, f"{basename}.md")
+    with open(json_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    with open(md_path, "w") as handle:
+        handle.write(render_markdown(report))
+    return json_path, md_path

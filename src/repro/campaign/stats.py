@@ -1,0 +1,144 @@
+"""Small-sample statistics for the campaign report stage.
+
+Multi-seed campaigns are small-n by construction (3–30 seeds per cell), so
+the default interval is the classic Student-t mean CI; a deterministic
+bootstrap percentile interval is available for series whose per-seed
+distribution is visibly non-normal (burst-loss tails).  No SciPy: the
+two-sided t critical values ship as a table (df 1–30, then the normal
+limit), and the bootstrap is seeded so reports are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.errors import CampaignError
+
+# Two-sided Student-t critical values by confidence level, df 1..30; the
+# last entry doubles as the z fallback for df > 30.
+_T_TABLE: Dict[float, Tuple[float, ...]] = {
+    0.90: (
+        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+        1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+        1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+        1.645,
+    ),
+    0.95: (
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+        2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+        2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        1.960,
+    ),
+    0.99: (
+        63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+        3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+        2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+        2.576,
+    ),
+}
+
+
+def t_critical(df: int, confidence: float) -> float:
+    """Two-sided t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise CampaignError(f"t interval needs df >= 1, got {df}")
+    table = _T_TABLE.get(round(confidence, 2))
+    if table is None:
+        raise CampaignError(
+            f"no t table for confidence {confidence}; "
+            f"supported: {sorted(_T_TABLE)} (or use ci_method='bootstrap')"
+        )
+    return table[min(df, len(table)) - 1]
+
+
+class Interval(NamedTuple):
+    """A mean with its two-sided confidence bounds."""
+
+    mean: float
+    lo: float
+    hi: float
+
+
+def t_interval(values: Sequence[float], confidence: float) -> Interval:
+    """Student-t mean CI (degenerate n=1 collapses to the point value)."""
+    n = len(values)
+    if n == 0:
+        raise CampaignError("cannot form an interval over zero values")
+    mean = sum(values) / n
+    if n == 1:
+        return Interval(mean, mean, mean)
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half = t_critical(n - 1, confidence) * math.sqrt(var / n)
+    return Interval(mean, mean - half, mean + half)
+
+
+def bootstrap_interval(
+    values: Sequence[float],
+    confidence: float,
+    samples: int = 2000,
+    rng: Optional[random.Random] = None,
+) -> Interval:
+    """Percentile-bootstrap mean CI, deterministic under a seeded ``rng``."""
+    n = len(values)
+    if n == 0:
+        raise CampaignError("cannot form an interval over zero values")
+    mean = sum(values) / n
+    if n == 1:
+        return Interval(mean, mean, mean)
+    rng = rng if rng is not None else random.Random(0)
+    means = sorted(
+        sum(rng.choice(values) for _ in range(n)) / n for _ in range(samples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lo = means[min(samples - 1, int(alpha * samples))]
+    hi = means[min(samples - 1, int((1.0 - alpha) * samples))]
+    return Interval(mean, lo, hi)
+
+
+def series_intervals(
+    per_seed: Sequence[Sequence[float]],
+    confidence: float,
+    method: str = "t",
+    bootstrap_samples: int = 2000,
+    rng_seed: int = 0,
+) -> List[Interval]:
+    """Per-bin mean CI over aligned per-seed series.
+
+    Shorter series are zero-padded to the longest one (a run that went
+    quiet early genuinely carried zero traffic in those bins).
+    """
+    if not per_seed:
+        return []
+    length = max(len(s) for s in per_seed)
+    padded = [list(s) + [0.0] * (length - len(s)) for s in per_seed]
+    rng = random.Random(rng_seed)
+    out: List[Interval] = []
+    for i in range(length):
+        column = [s[i] for s in padded]
+        if method == "t":
+            out.append(t_interval(column, confidence))
+        elif method == "bootstrap":
+            out.append(
+                bootstrap_interval(column, confidence, bootstrap_samples, rng)
+            )
+        else:
+            raise CampaignError(f"unknown ci_method {method!r}")
+    return out
+
+
+def shape_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Normalized L1 distance between two mean series' *shapes* in [0, 1].
+
+    Each series is normalized to unit mass first, so this compares when
+    traffic happens, not how much of it there is (totals are compared
+    separately); two proportional series score 0.0.
+    """
+    length = max(len(a), len(b))
+    pa = [a[i] if i < len(a) else 0.0 for i in range(length)]
+    pb = [b[i] if i < len(b) else 0.0 for i in range(length)]
+    sa, sb = sum(pa), sum(pb)
+    if sa <= 0 or sb <= 0:
+        return 0.0 if sa == sb else 1.0
+    return 0.5 * sum(abs(x / sa - y / sb) for x, y in zip(pa, pb))

@@ -105,7 +105,7 @@ def run_reference(spec: ShardedRunSpec) -> MergedRun:
     calls instead of pipes), so any divergence in output is an engine
     bug, not a modelling difference.
     """
-    wall_start = time.time()
+    wall_start = time.perf_counter()
     plan = plan_for_spec(spec)
     runners = [LogicalShardRunner(spec, plan, shard) for shard in plan.shards]
     pending: List[List[CrossShardMessage]] = [[] for _ in plan.shards]
@@ -119,7 +119,7 @@ def run_reference(spec: ShardedRunSpec) -> MergedRun:
         pending = routed
     merged = merge_results(spec, plan, [runner.finish() for runner in runners])
     merged.workers = 0
-    merged.wall_seconds = time.time() - wall_start
+    merged.wall_seconds = time.perf_counter() - wall_start
     return merged
 
 
@@ -179,7 +179,7 @@ def run_sharded(spec: ShardedRunSpec, workers: Optional[int] = None) -> MergedRu
             defaults to ``os.cpu_count()``.  The *output* is identical
             for every value — only wall-clock time changes.
     """
-    wall_start = time.time()
+    wall_start = time.perf_counter()
     plan = plan_for_spec(spec)
     if workers is None:
         workers = os.cpu_count() or 1
@@ -243,5 +243,5 @@ def run_sharded(spec: ShardedRunSpec, workers: Optional[int] = None) -> MergedRu
                 proc.join(timeout=10)
     merged = merge_results(spec, plan, results)
     merged.workers = n_workers
-    merged.wall_seconds = time.time() - wall_start
+    merged.wall_seconds = time.perf_counter() - wall_start
     return merged

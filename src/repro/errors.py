@@ -47,6 +47,10 @@ class EngineError(ReproError):
     """Invalid sharded-engine request (unshardable topology, bad spec, ...)."""
 
 
+class CampaignError(ReproError):
+    """Invalid campaign spec, incompatible resume, or failed campaign run."""
+
+
 class InvariantViolation(ReproError, AssertionError):
     """A protocol invariant checked by :mod:`repro.testing` was violated.
 

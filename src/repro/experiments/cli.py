@@ -5,6 +5,8 @@ Usage::
     sharqfec list
     sharqfec fig14 --packets 256 --seed 3
     sharqfec all --packets 128
+    sharqfec campaign run examples/fig14_campaign.toml
+    sharqfec campaign report campaigns/fig14
 """
 
 from __future__ import annotations
@@ -24,7 +26,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="figure id (fig1, fig8, fig11..fig21), 'national' (sharded "
-        "scale run), 'all', or 'list'",
+        "scale run), 'all', 'list', or 'campaign' (multi-seed sweeps: "
+        "'sharqfec campaign run|report')",
     )
     parser.add_argument(
         "--shards",
@@ -141,11 +144,20 @@ def _run_national(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "campaign":
+        # Multi-seed sweep campaigns have their own option surface; hand
+        # the rest of the command line to repro.campaign.cli untouched.
+        from repro.campaign.cli import main as campaign_main
+
+        return campaign_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for figure_id, experiment in EXPERIMENTS.items():
             print(f"{figure_id:7s} {experiment.description}")
         print("national sharded zone-parallel run of the Figure 7 national topology")
+        print("campaign declarative multi-seed sweep campaigns (run/report)")
         return 0
     if args.experiment == "national":
         return _run_national(args)

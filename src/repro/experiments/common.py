@@ -10,6 +10,9 @@ under that shape and returns the binned series.
 from __future__ import annotations
 
 import contextlib
+import contextvars
+import hashlib
+import json
 import os
 import re
 import time
@@ -78,31 +81,95 @@ class ObservabilityOptions:
         )
 
 
-_observability: Optional[ObservabilityOptions] = None
+# Ambient export options.  A ContextVar (not a module global) so nested
+# observe_runs blocks compose and concurrent runs — campaign executor
+# threads/tasks — each see their own options instead of racing on one slot.
+_observability: contextvars.ContextVar[Optional[ObservabilityOptions]] = (
+    contextvars.ContextVar("sharqfec_observability", default=None)
+)
+
+
+def current_observability() -> Optional[ObservabilityOptions]:
+    """The options :func:`run_traffic` would export under right now."""
+    return _observability.get()
 
 
 @contextlib.contextmanager
 def observe_runs(options: Optional[ObservabilityOptions]) -> Iterator[None]:
     """Make every :func:`run_traffic` inside the block export per ``options``."""
-    global _observability
-    previous = _observability
-    _observability = options
+    token = _observability.set(options)
     try:
         yield
     finally:
-        _observability = previous
+        _observability.reset(token)
 
 
-def run_slug(protocol: str, n_packets: int, seed: int) -> str:
-    """Filesystem-safe basename for one run's export files."""
+#: Default drain used by :func:`run_traffic`; runs at the default with no
+#: fault plan keep the short legacy slug (no parameter digest).
+DEFAULT_DRAIN = 10.0
+
+
+def run_params_digest(
+    drain: float = DEFAULT_DRAIN,
+    fault_plan: Optional[FaultPlan] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Optional[str]:
+    """Short stable digest of the non-core run parameters, or ``None``.
+
+    ``None`` means "the default shape" — drain 10 s, no fault plan, no
+    extra flags — which keeps historical export filenames unchanged.  Any
+    other combination gets an 8-hex-char digest so two runs differing only
+    in, say, their fault plan can never overwrite each other's exports.
+    """
+    if drain == DEFAULT_DRAIN and fault_plan is None and not extra:
+        return None
+    payload = {
+        "drain": drain,
+        "fault_plan": None
+        if fault_plan is None
+        else {
+            "name": fault_plan.name,
+            "actions": [a.describe() for a in fault_plan.actions()],
+        },
+        "extra": dict(sorted(extra.items())) if extra else None,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()[:8]
+
+
+def run_slug(
+    protocol: str,
+    n_packets: int,
+    seed: int,
+    drain: float = DEFAULT_DRAIN,
+    fault_plan: Optional[FaultPlan] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> str:
+    """Filesystem-safe basename for one run's export files.
+
+    Default-shaped runs keep the historical ``<proto>_p<N>_s<seed>`` name;
+    anything else (custom drain, fault plan, extra flags) appends a
+    parameter digest — see :func:`run_params_digest`.
+    """
     slug = re.sub(r"[^a-z0-9]+", "_", protocol.lower()).strip("_")
-    return f"{slug}_p{n_packets}_s{seed}"
+    base = f"{slug}_p{n_packets}_s{seed}"
+    digest = run_params_digest(drain, fault_plan, extra)
+    return base if digest is None else f"{base}_h{digest}"
 
 
 def default_packets() -> int:
     """Packets per run: the paper's 1024, or ``SHARQFEC_PACKETS`` from the
     environment (benchmarks default to a faster 128)."""
-    return int(os.environ.get("SHARQFEC_PACKETS", "1024"))
+    raw = os.environ.get("SHARQFEC_PACKETS", "1024")
+    try:
+        packets = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"SHARQFEC_PACKETS must be an integer packet count, got {raw!r}"
+        ) from None
+    if packets <= 0:
+        raise ConfigError(f"SHARQFEC_PACKETS must be positive, got {packets}")
+    return packets
 
 
 def variant_config(name: str, n_packets: int) -> SharqfecConfig:
@@ -198,9 +265,10 @@ def run_traffic(
     protocol: str,
     n_packets: Optional[int] = None,
     seed: int = 1,
-    drain: float = 10.0,
+    drain: float = DEFAULT_DRAIN,
     fault_plan: Optional[FaultPlan] = None,
     check_invariants: bool = False,
+    obs: Optional[ObservabilityOptions] = None,
 ) -> TrafficRunResult:
     """Run one protocol variant on the Figure 10 topology.
 
@@ -221,14 +289,22 @@ def run_traffic(
             plan that permanently severs a Figure 10 tree edge leaves its
             receivers mesh-connected but undeliverable — use healing plans
             here, or filter receivers yourself.
+        obs: explicit export options; defaults to the ambient ones set by
+            :func:`observe_runs`.
+
+    Teardown (reporter stop, observer detach, export of whatever the run
+    observed) happens even when the run raises — a failed invariant still
+    leaves its partial metrics/trace on disk, marked with an ``error``
+    field in the run summary.
     """
     packets = n_packets if n_packets is not None else default_packets()
-    wall_start = time.time()
+    wall_start = time.perf_counter()
     sim = Simulator(seed=seed)
     topo = build_figure10(sim)
     monitor = TrafficMonitor(bin_width=0.1)
     topo.network.add_observer(monitor)
-    obs = _observability
+    if obs is None:
+        obs = _observability.get()
     observer: Optional[RunObserver] = None
     reporter: Optional[ProgressReporter] = None
     if obs is not None and obs.active:
@@ -252,63 +328,80 @@ def run_traffic(
                 monitor=monitor,
                 label=f"{protocol} seed={seed}",
             ).start()
-    if fault_plan is not None:
-        FaultInjector(topo.network, fault_plan).arm()
     data_start = DATA_START
-    if protocol == "SRM":
-        srm_config = SrmConfig(n_packets=packets)
-        srm = SrmProtocol(topo.network, srm_config, topo.source, topo.receivers)
-        srm.start(SESSION_START, data_start)
-        data_end = data_start + packets * srm_config.inter_packet_interval
-        run_end = data_end + drain
-        sim.run(until=run_end)
-        srm.stop()
-        completion = srm.completion_fraction()
-        nacks = srm.total_nacks_sent()
-    else:
-        config = variant_config(protocol, packets)
-        proto = SharqfecProtocol(
-            topo.network, config, topo.source, topo.receivers, topo.hierarchy
-        )
-        proto.start(SESSION_START, data_start)
-        data_end = proto.data_end_time(data_start)
-        run_end = data_end + drain
-        sim.run(until=run_end)
-        proto.stop()
-        completion = proto.completion_fraction()
-        nacks = proto.total_nacks_sent()
-    if check_invariants:
-        from repro.testing.invariants import (
-            assert_eventual_delivery,
-            connected_receivers,
-        )
+    config: Optional[SharqfecConfig] = None
+    srm_config: Optional[SrmConfig] = None
+    data_end: Optional[float] = None
+    run_end: Optional[float] = None
+    completion = 0.0
+    nacks = 0
+    error: Optional[str] = None
+    try:
+        if fault_plan is not None:
+            FaultInjector(topo.network, fault_plan).arm()
+        if protocol == "SRM":
+            srm_config = SrmConfig(n_packets=packets)
+            srm = SrmProtocol(topo.network, srm_config, topo.source, topo.receivers)
+            srm.start(SESSION_START, data_start)
+            data_end = data_start + packets * srm_config.inter_packet_interval
+            run_end = data_end + drain
+            sim.run(until=run_end)
+            srm.stop()
+            completion = srm.completion_fraction()
+            nacks = srm.total_nacks_sent()
+        else:
+            config = variant_config(protocol, packets)
+            proto = SharqfecProtocol(
+                topo.network, config, topo.source, topo.receivers, topo.hierarchy
+            )
+            proto.start(SESSION_START, data_start)
+            data_end = proto.data_end_time(data_start)
+            run_end = data_end + drain
+            sim.run(until=run_end)
+            proto.stop()
+            completion = proto.completion_fraction()
+            nacks = proto.total_nacks_sent()
+        if check_invariants:
+            from repro.testing.invariants import (
+                assert_eventual_delivery,
+                connected_receivers,
+            )
 
-        survivors = connected_receivers(topo.network, topo.source, topo.receivers)
-        assert_eventual_delivery(
-            srm if protocol == "SRM" else proto,
-            receivers=survivors,
-            context=f"{protocol} seed={seed}",
-        )
-    if reporter is not None:
-        reporter.stop()
-    if observer is not None:
-        observer.detach()
-        _export_run(
-            obs,
-            observer,
-            monitor,
-            protocol=protocol,
-            packets=packets,
-            seed=seed,
-            config=None if protocol == "SRM" else config,
-            srm_config=srm_config if protocol == "SRM" else None,
-            data_start=data_start,
-            data_end=data_end,
-            run_end=run_end,
-            completion=completion,
-            nacks=nacks,
-            events=sim.events_fired,
-        )
+            survivors = connected_receivers(topo.network, topo.source, topo.receivers)
+            assert_eventual_delivery(
+                srm if protocol == "SRM" else proto,
+                receivers=survivors,
+                context=f"{protocol} seed={seed}",
+            )
+    except BaseException as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        raise
+    finally:
+        if reporter is not None:
+            reporter.stop()
+        if observer is not None:
+            observer.detach()
+            _export_run(
+                obs,
+                observer,
+                monitor,
+                protocol=protocol,
+                packets=packets,
+                seed=seed,
+                config=config,
+                srm_config=srm_config,
+                drain=drain,
+                fault_plan=fault_plan,
+                data_start=data_start,
+                data_end=data_end,
+                run_end=run_end,
+                completion=completion,
+                nacks=nacks,
+                events=sim.events_fired,
+                receivers=topo.receivers,
+                source=topo.source,
+                error=error,
+            )
     return TrafficRunResult(
         protocol=protocol,
         monitor=monitor,
@@ -319,7 +412,7 @@ def run_traffic(
         completion=completion,
         nacks_sent=nacks,
         events=sim.events_fired,
-        wall_seconds=time.time() - wall_start,
+        wall_seconds=time.perf_counter() - wall_start,
         seed=seed,
     )
 
@@ -334,15 +427,20 @@ def _export_run(
     seed: int,
     config: Optional[SharqfecConfig],
     srm_config: Optional[SrmConfig],
+    drain: float = DEFAULT_DRAIN,
+    fault_plan: Optional[FaultPlan] = None,
     data_start: float,
-    data_end: float,
-    run_end: float,
+    data_end: Optional[float],
+    run_end: Optional[float],
     completion: float,
     nacks: int,
     events: int,
+    receivers: Optional[List[int]] = None,
+    source: Optional[int] = None,
+    error: Optional[str] = None,
 ) -> None:
     """Write the metrics/trace JSONL files one observed run produced."""
-    slug = run_slug(protocol, packets, seed)
+    slug = run_slug(protocol, packets, seed, drain=drain, fault_plan=fault_plan)
     summary = {
         "protocol": protocol,
         "n_packets": packets,
@@ -354,7 +452,11 @@ def _export_run(
         "nacks_sent": nacks,
         "events": events,
         "drops": monitor.drops,
+        "receivers": receivers,
+        "source": source,
     }
+    if error is not None:
+        summary["error"] = error
 
     def manifest(kind: str) -> Dict[str, object]:
         return build_manifest(
@@ -365,6 +467,15 @@ def _export_run(
             protocol=protocol,
             config=config if config is not None else srm_config,
             bin_width=monitor.bin_width,
+            params={
+                "drain": drain,
+                "fault_plan": None
+                if fault_plan is None
+                else {
+                    "name": fault_plan.name,
+                    "actions": [a.describe() for a in fault_plan.actions()],
+                },
+            },
             extra={"n_packets": packets},
         )
 

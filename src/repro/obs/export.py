@@ -79,9 +79,16 @@ def build_manifest(
     protocol: str = "",
     config: object = None,
     bin_width: Optional[float] = None,
+    params: Optional[Dict[str, object]] = None,
     extra: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
-    """The self-description header every export file starts with."""
+    """The self-description header every export file starts with.
+
+    ``params`` carries the full non-core run parameters (drain, fault
+    plan, ablation flags) that the run slug only digests — the manifest is
+    where a collision-suffixed filename can be decoded back to its exact
+    run shape.
+    """
     manifest: Dict[str, object] = {
         "record": "manifest",
         "format": FORMAT,
@@ -95,6 +102,8 @@ def build_manifest(
     }
     if bin_width is not None:
         manifest["bin_width"] = bin_width
+    if params is not None:
+        manifest["params"] = params
     if extra:
         manifest.update(extra)
     return manifest

@@ -39,7 +39,7 @@ def _run_combo(tmp_path, monkeypatch, compiled: str, pure_fec: str):
     )
     with observe_runs(options):
         result = run_traffic("SHARQFEC", n_packets=N_PACKETS, seed=SEED, drain=5.0)
-    slug = run_slug("SHARQFEC", N_PACKETS, SEED)
+    slug = run_slug("SHARQFEC", N_PACKETS, SEED, drain=5.0)
     with open(os.path.join(options.trace_dir, f"{slug}.trace.jsonl"), "rb") as f:
         trace_bytes = f.read()
     with open(os.path.join(options.metrics_dir, f"{slug}.metrics.jsonl"), "rb") as f:

@@ -48,7 +48,7 @@ def exported(tmp_path_factory):
     )
     with observe_runs(options):
         result = run_traffic("SHARQFEC", n_packets=N_PACKETS, seed=SEED, drain=5.0)
-    slug = run_slug("SHARQFEC", N_PACKETS, SEED)
+    slug = run_slug("SHARQFEC", N_PACKETS, SEED, drain=5.0)
     return {
         "result": result,
         "metrics": os.path.join(options.metrics_dir, f"{slug}.metrics.jsonl"),
